@@ -1,0 +1,116 @@
+// Ablation — summary kind (DESIGN.md §5; paper §V-E: "different kinds of
+// privacy-preserving data summaries could also affect performance in HACCS
+// and could be a future topic of research").
+//
+// Four summaries drive the same scheduler on the Fig. 5 workload:
+//   * P(y)      — label histogram (the paper's primary choice);
+//   * P(X|y)    — per-label feature histograms;
+//   * Q(X|y)    — per-label feature quantile sketches (this library's
+//                 extension: more compact than histograms at equal
+//                 resolution);
+//   * gradient  — update-direction clusters (§IV-A's alternative, needing
+//                 constant re-clustering).
+// Reported per kind: transmitted summary size, cluster count, TTA, bias
+// audit (participation Gini, accuracy spread).
+//
+// Flags: --rounds=N --seed=N --csv=<path>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/core/gradient_selector.hpp"
+#include "src/fl/evaluation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  bench::ExperimentConfig exp;
+  exp.dataset = bench::DatasetKind::FemnistLike;
+  exp.rounds = 180;
+  exp.apply_flags(flags);
+  const std::string csv = flags.get_string("csv", "");
+  flags.check_unused();
+
+  bench::print_header(
+      "Ablation — summary kind (femnist-like, majority skew)",
+      "P(y) vs P(X|y) vs Q(X|y) vs gradient clusters, same scheduler",
+      "P(y) is the cheapest summary and the fastest scheduler; feature "
+      "summaries cost Θ(c·p) bytes and fragment under per-device style "
+      "heterogeneity; gradient clusters adapt but re-cluster constantly");
+
+  auto gen = exp.make_generator();
+  Rng rng(exp.seed);
+  const auto fed =
+      data::partition_majority_label(gen, exp.make_partition_config(), rng);
+  const auto engine_config = exp.make_engine_config(fed);
+
+  // Summary sizes (in doubles) for the communication-cost column (§IV-A).
+  const auto response_size =
+      stats::summary_size(stats::summarize_response(fed.clients[0].train));
+  core::HaccsConfig size_probe;
+  const auto conditional_size = stats::summary_size(stats::summarize_conditional(
+      fed.clients[0].train, size_probe.conditional));
+  const auto quantile_probe =
+      stats::summarize_quantiles(fed.clients[0].train, size_probe.quantile);
+  std::size_t quantile_size = quantile_probe.mass.size();
+  for (const auto& qs : quantile_probe.per_label) quantile_size += qs.size();
+
+  struct Variant {
+    std::string strategy;
+    std::string size;
+  };
+  const std::vector<Variant> variants = {
+      {"HACCS-P(y)", std::to_string(response_size)},
+      {"HACCS-P(X|y)", std::to_string(conditional_size)},
+      {"HACCS-Q(X|y)", std::to_string(quantile_size)},
+  };
+
+  Table table({"summary", "bytes (doubles)", "tta@50% (s)", "tta@80% (s)",
+               "final_acc", "participation_gini", "acc_spread"});
+  core::HaccsConfig haccs;
+  haccs.rho = 0.5;
+
+  auto audit_row = [&](const std::string& name, const std::string& size,
+                       const fl::TrainingHistory& history,
+                       const std::vector<double>& per_client) {
+    const auto counts = history.selection_counts(fed.num_clients());
+    table.add_row({name, size,
+                   fl::format_tta(history.time_to_accuracy(0.5)),
+                   fl::format_tta(history.time_to_accuracy(0.8)),
+                   Table::num(history.final_accuracy(), 3),
+                   Table::num(fl::participation_gini(counts), 3),
+                   Table::num(fl::accuracy_spread(per_client), 3)});
+  };
+
+  for (const auto& variant : variants) {
+    std::fprintf(stderr, "  running %s...\n", variant.strategy.c_str());
+    fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                                 engine_config);
+    core::HaccsConfig cfg = haccs;
+    cfg.initial_loss = engine_config.initial_loss;
+    cfg.summary = stats::parse_summary_kind(
+        variant.strategy.substr(std::string("HACCS-").size()));
+    core::HaccsSelector selector(fed, cfg);
+    const auto history = trainer.run(selector);
+    audit_row(variant.strategy + " (" + std::to_string(selector.num_clusters()) +
+                  " clusters)",
+              variant.size, history, trainer.final_per_client_accuracy());
+  }
+  {
+    std::fprintf(stderr, "  running gradient clusters...\n");
+    fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                                 engine_config);
+    core::GradientSelectorConfig cfg;
+    cfg.scheduling.rho = 0.5;
+    cfg.scheduling.initial_loss = engine_config.initial_loss;
+    core::GradientClusterSelector selector(cfg);
+    const auto history = trainer.run(selector);
+    audit_row("gradient (" + std::to_string(selector.num_clusters()) +
+                  " clusters)",
+              std::to_string(cfg.sketch_dim), history,
+              trainer.final_per_client_accuracy());
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 3 — Example DP-noised label histograms.
+//
+// A client with 1000 training points for each of 10 labels publishes its
+// P(y) histogram under the Laplace mechanism at eps = 0.1 and eps = 0.005.
+// The paper's point: at eps = 0.1 the uniform shape survives; at eps = 0.005
+// the noise (Var = 2/eps^2 = 80,000) buries it.
+//
+// Flags: --seed=N --csv=<path>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/flags.hpp"
+#include "src/common/table.hpp"
+#include "src/stats/privacy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string csv = flags.get_string("csv", "");
+  flags.check_unused();
+
+  std::printf("==============================================================\n");
+  std::printf("Fig. 3 — Laplace-mechanism label histograms\n");
+  std::printf("workload: 1000 points per label x 10 labels, eps in {0.1, 0.005}\n");
+  std::printf("paper expectation: eps=0.1 keeps the histogram recognizable; "
+              "eps=0.005 buries it in noise (Var[lambda] = 2/eps^2, Eq. 5)\n");
+  std::printf("==============================================================\n");
+
+  stats::Histogram truth(10);
+  for (std::size_t bin = 0; bin < 10; ++bin) truth.add_count(bin, 1000.0);
+
+  Rng rng_a(seed), rng_b(seed);
+  stats::Histogram strong = truth;
+  stats::privatize_histogram(strong, 0.1, rng_a);
+  stats::Histogram weak = truth;
+  stats::privatize_histogram(weak, 0.005, rng_b);
+
+  Table table({"label", "true_count", "noised_eps_0.1", "noised_eps_0.005"});
+  for (std::size_t bin = 0; bin < 10; ++bin) {
+    table.add_row({std::to_string(bin), Table::num(truth.counts()[bin], 0),
+                   Table::num(strong.counts()[bin], 1),
+                   Table::num(weak.counts()[bin], 1)});
+  }
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+
+  // Hellinger distortion relative to the true histogram — the quantity that
+  // actually drives clustering quality downstream.
+  std::printf("\nHellinger distance to true histogram: eps=0.1 -> %.4f, "
+              "eps=0.005 -> %.4f\n",
+              stats::hellinger_distance(truth, strong),
+              stats::hellinger_distance(truth, weak));
+  std::printf("theoretical noise stddev: eps=0.1 -> %.1f, eps=0.005 -> %.1f\n",
+              std::sqrt(stats::laplace_noise_variance(0.1)),
+              std::sqrt(stats::laplace_noise_variance(0.005)));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 8a — Privacy loss epsilon vs clustering accuracy, P(y) summary.
+//
+// Paper setup (§V-D2): 20 clients, exactly two per CIFAR-10 label with a
+// 70/10/10/10 mixture — ground truth is 10 clusters of 2. For each epsilon
+// the clustering runs 10 times (fresh noise draws) and accuracy = fraction
+// of ground-truth clusters exactly recovered, averaged. Data sizes m in
+// {100, 500, 1000}. Expectation: accuracy stays high for eps >= 0.05 at
+// m >= 500; very small eps (< 0.01) destroys clustering at every size; at
+// m = 100 the decline is smoother across eps.
+//
+// Flags: --seed=N --reps=N --csv=<path>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  bench::ExperimentConfig exp;
+  exp.dataset = bench::DatasetKind::CifarLike;
+  exp.apply_flags(flags);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 10));
+  const std::string csv = flags.get_string("csv", "");
+  flags.check_unused();
+
+  bench::print_header(
+      "Fig. 8a — epsilon vs clustering accuracy (P(y), cifar-like)",
+      "20 clients (2 per label, 70/10/10/10), m in {100, 500, 1000}, " +
+          std::to_string(reps) + " noise draws per point",
+      "accuracy ~1.0 for eps >= 0.05 when m >= 500; eps < 0.01 destroys "
+      "clustering; m = 100 declines smoothly across eps (all 95% CI "
+      "margins < 0.1)");
+
+  auto gen = exp.make_generator();
+  const std::vector<double> epsilons = {0.001, 0.005, 0.01,
+                                        0.05,  0.1,   0.5, 1.0};
+  const std::vector<std::size_t> data_sizes = {100, 500, 1000};
+
+  Table table({"epsilon", "m=100", "m=500", "m=1000"});
+  std::vector<std::vector<std::string>> rows;
+  for (double eps : epsilons) {
+    std::vector<std::string> row = {Table::num(eps, 3)};
+    for (std::size_t m : data_sizes) {
+      Rng data_rng(exp.seed);
+      const auto fed = data::partition_two_per_label(gen, m, 10, data_rng);
+      std::vector<double> scores;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        core::HaccsConfig cfg;
+        cfg.summary = stats::SummaryKind::Response;
+        cfg.privacy = stats::PrivacyConfig{eps};
+        cfg.privacy_seed = exp.seed * 1000 + rep;
+        const auto labels = core::cluster_clients(fed, cfg);
+        scores.push_back(
+            stats::exact_cluster_recovery(labels, fed.true_group));
+      }
+      const auto ci = stats::mean_ci95(scores);
+      row.push_back(Table::num(ci.mean, 3) + " ±" + Table::num(ci.margin, 3));
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "  eps=%g done\n", eps);
+  }
+  for (auto& row : rows) table.add_row(std::move(row));
+  table.print();
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

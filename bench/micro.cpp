@@ -1,0 +1,138 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels every
+// experiment leans on — GEMM, convolution, Hellinger distances, summary
+// computation, the Laplace mechanism, OPTICS, and device-profile sampling.
+#include <benchmark/benchmark.h>
+
+#include "src/clustering/optics.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/partition.hpp"
+#include "src/nn/loss.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/sim/profile.hpp"
+#include "src/stats/privacy.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace haccs {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ops::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const ops::Conv2dShape s{8, 1, 28, 28, 6, 5, 1, 2};
+  Rng rng(2);
+  Tensor input({s.batch, s.in_channels, s.in_h, s.in_w});
+  Tensor weight({s.out_channels, s.in_channels, s.kernel, s.kernel});
+  Tensor bias({s.out_channels});
+  Tensor output({s.batch, s.out_channels, s.out_h(), s.out_w()});
+  for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : weight.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ops::conv2d_forward(s, input, weight, bias, output);
+    benchmark::DoNotOptimize(output.raw());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::Sequential model = nn::make_mlp(256, {64}, 10, rng);
+  Tensor x({32, 256});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  std::vector<std::int64_t> labels(32);
+  for (auto& l : labels) l = static_cast<std::int64_t>(rng.uniform_index(10));
+  nn::SgdOptimizer opt({.learning_rate = 0.05});
+  for (auto _ : state) {
+    model.zero_grad();
+    const Tensor logits = model.forward(x);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad_logits);
+    opt.step(model);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_MlpTrainStep);
+
+void BM_Hellinger(benchmark::State& state) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> p(bins), q(bins);
+  for (auto& v : p) v = rng.uniform();
+  for (auto& v : q) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::hellinger_distance(p, q));
+  }
+}
+BENCHMARK(BM_Hellinger)->Arg(10)->Arg(62)->Arg(1024);
+
+void BM_LaplaceMechanism(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    stats::Histogram h(62);
+    for (std::size_t i = 0; i < 62; ++i) h.add_count(i, 100.0);
+    stats::privatize_histogram(h, 0.1, rng);
+    benchmark::DoNotOptimize(h.counts().data());
+  }
+}
+BENCHMARK(BM_LaplaceMechanism);
+
+void BM_SummaryPipeline(benchmark::State& state) {
+  // Full client-summary -> distance-matrix -> clustering pipeline at the
+  // paper's scale (50 clients).
+  data::SyntheticImageConfig gcfg;
+  gcfg.height = 16;
+  gcfg.width = 16;
+  data::SyntheticImageGenerator gen(gcfg);
+  data::PartitionConfig pcfg;
+  pcfg.num_clients = 50;
+  pcfg.min_samples = 100;
+  pcfg.max_samples = 100;
+  pcfg.test_samples = 1;
+  Rng rng(6);
+  const auto fed = data::partition_majority_label(gen, pcfg, rng);
+  core::HaccsConfig cfg;
+  for (auto _ : state) {
+    auto labels = core::cluster_clients(fed, cfg);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_SummaryPipeline);
+
+void BM_Optics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(0.0, 10.0);
+  const auto m = clustering::DistanceMatrix::build(
+      n, [&](std::size_t i, std::size_t j) { return std::abs(xs[i] - xs[j]); });
+  for (auto _ : state) {
+    auto result = clustering::optics(m, {.min_pts = 2});
+    benchmark::DoNotOptimize(result.ordering.data());
+  }
+}
+BENCHMARK(BM_Optics)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_DeviceProfileSample(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::DeviceProfile::sample(rng));
+  }
+}
+BENCHMARK(BM_DeviceProfileSample);
+
+}  // namespace
+}  // namespace haccs
+
+BENCHMARK_MAIN();

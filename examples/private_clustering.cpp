@@ -1,0 +1,75 @@
+// Scenario: how much privacy can you buy before clustering breaks?
+//
+// Walks the full client-side path of §IV-A/IV-B explicitly: compute a P(y)
+// histogram summary, add Laplace-mechanism noise at several privacy budgets,
+// and watch the server's view — pairwise Hellinger distances and the
+// resulting OPTICS clusters — degrade as epsilon shrinks. This is the
+// paper's Fig. 3 / Fig. 8a story as a runnable walkthrough.
+//
+// Run: ./build/examples/private_clustering
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/stats/metrics.hpp"
+
+int main() {
+  using namespace haccs;
+
+  data::SyntheticImageConfig image_config =
+      data::SyntheticImageConfig::cifar_like();
+  image_config.height = 16;
+  image_config.width = 16;
+  data::SyntheticImageGenerator generator(image_config);
+
+  // Ten ground-truth distribution groups, two clients each (Fig. 8a layout).
+  Rng rng(5);
+  const auto federation = data::partition_two_per_label(generator, 500, 10, rng);
+
+  std::printf("federation: %zu clients, 10 ground-truth groups of 2\n\n",
+              federation.num_clients());
+
+  // Show one client's raw summary.
+  const auto raw = stats::summarize_response(federation.clients[0].train);
+  std::printf("client 0 label histogram (raw): ");
+  for (double c : raw.label_counts.counts()) std::printf("%.0f ", c);
+  std::printf("\n");
+
+  // The same summary under two privacy budgets.
+  for (double eps : {0.1, 0.01}) {
+    Rng noise(99);
+    const auto noised = stats::privatize(raw, stats::PrivacyConfig{eps}, noise);
+    std::printf("client 0 label histogram (eps=%g):", eps);
+    for (double c : noised.label_counts.counts()) std::printf(" %.1f", c);
+    std::printf("  (Hellinger distortion %.3f)\n",
+                stats::distance(raw, noised));
+  }
+
+  // Server-side: cluster under several budgets and score against truth.
+  Table table({"epsilon", "clusters_found", "noise_pts", "exact_recovery",
+               "pairwise_f1"});
+  for (double eps : {1e9, 1.0, 0.1, 0.05, 0.01, 0.001}) {
+    core::HaccsConfig cfg;
+    cfg.privacy = stats::PrivacyConfig{eps};
+    cfg.privacy_seed = 123;
+    const auto labels = core::cluster_clients(federation, cfg);
+    int max_label = -1, noise_count = 0;
+    for (int l : labels) {
+      max_label = std::max(max_label, l);
+      if (l < 0) ++noise_count;
+    }
+    const auto scores =
+        stats::pairwise_clustering_scores(labels, federation.true_group);
+    const double recovery =
+        stats::exact_cluster_recovery(labels, federation.true_group);
+    table.add_row({eps > 1e8 ? "none" : Table::num(eps, 3),
+                   std::to_string(max_label + 1), std::to_string(noise_count),
+                   Table::num(recovery, 2), Table::num(scores.f1, 2)});
+  }
+  std::printf("\nserver-side clustering vs privacy budget:\n");
+  table.print();
+  std::printf("\nreading: clusters survive down to eps ~0.05 at this data "
+              "size; below that the Laplace noise (Var = 2/eps^2) swamps the "
+              "label structure — the paper's privacy/accuracy trade-off.\n");
+  return 0;
+}

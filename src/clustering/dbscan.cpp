@@ -1,0 +1,51 @@
+#include "src/clustering/dbscan.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace haccs::clustering {
+
+std::vector<int> dbscan(const DistanceMatrix& distances,
+                        const DbscanConfig& config) {
+  if (config.eps < 0.0) throw std::invalid_argument("dbscan: eps < 0");
+  if (config.min_pts == 0) throw std::invalid_argument("dbscan: min_pts == 0");
+  const std::size_t n = distances.size();
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  std::vector<int> labels(n, kUnvisited);
+
+  auto is_core = [&](std::size_t p, const std::vector<std::size_t>& nbrs) {
+    return nbrs.size() + 1 >= config.min_pts;  // +1 counts the point itself
+  };
+
+  int next_cluster = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (labels[p] != kUnvisited) continue;
+    auto nbrs = distances.neighbors_within(p, config.eps);
+    if (!is_core(p, nbrs)) {
+      labels[p] = kNoise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[p] = cluster;
+    std::deque<std::size_t> frontier(nbrs.begin(), nbrs.end());
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (labels[q] == kNoise) labels[q] = cluster;  // border point
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cluster;
+      auto q_nbrs = distances.neighbors_within(q, config.eps);
+      if (is_core(q, q_nbrs)) {
+        for (std::size_t r : q_nbrs) {
+          if (labels[r] == kUnvisited || labels[r] == kNoise) {
+            frontier.push_back(r);
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace haccs::clustering

@@ -1,0 +1,23 @@
+// DBSCAN (Ester et al., KDD'96) over a precomputed distance matrix.
+//
+// Returned labels: cluster ids 0, 1, ... in order of discovery; -1 marks
+// noise. A point is a core point when its eps-neighborhood (excluding
+// itself) contains at least `min_pts - 1` other points, i.e. `min_pts`
+// points counting itself — matching the original paper's convention.
+#pragma once
+
+#include <vector>
+
+#include "src/clustering/distance_matrix.hpp"
+
+namespace haccs::clustering {
+
+struct DbscanConfig {
+  double eps = 0.3;
+  std::size_t min_pts = 2;
+};
+
+std::vector<int> dbscan(const DistanceMatrix& distances,
+                        const DbscanConfig& config);
+
+}  // namespace haccs::clustering

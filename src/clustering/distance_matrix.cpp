@@ -1,0 +1,68 @@
+#include "src/clustering/distance_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/threadpool.hpp"
+
+namespace haccs::clustering {
+
+DistanceMatrix::DistanceMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {
+  if (n == 0) throw std::invalid_argument("DistanceMatrix: empty");
+}
+
+DistanceMatrix DistanceMatrix::build(
+    std::size_t n,
+    const std::function<double(std::size_t, std::size_t)>& distance) {
+  DistanceMatrix m(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(i, j);
+      if (d < 0.0) {
+        throw std::invalid_argument("DistanceMatrix: negative distance");
+      }
+      // Each (i, j) cell is written by exactly one row task; (j, i) mirrors
+      // are written by row i only, so there are no concurrent writers.
+      m.data_[i * n + j] = d;
+      m.data_[j * n + i] = d;
+    }
+  });
+  return m;
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double value) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("DistanceMatrix::set");
+  if (value < 0.0) {
+    throw std::invalid_argument("DistanceMatrix: negative distance");
+  }
+  data_[i * n_ + j] = value;
+  data_[j * n_ + i] = value;
+}
+
+std::vector<std::size_t> DistanceMatrix::neighbors_within(std::size_t center,
+                                                          double eps) const {
+  if (center >= n_) throw std::out_of_range("neighbors_within");
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != center && at(center, j) <= eps) out.push_back(j);
+  }
+  return out;
+}
+
+double DistanceMatrix::kth_nearest_distance(std::size_t center,
+                                            std::size_t k) const {
+  if (center >= n_) throw std::out_of_range("kth_nearest_distance");
+  if (k == 0 || k >= n_) {
+    throw std::invalid_argument("kth_nearest_distance: k must be in [1, n)");
+  }
+  std::vector<double> dists;
+  dists.reserve(n_ - 1);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != center) dists.push_back(at(center, j));
+  }
+  std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dists.end());
+  return dists[k - 1];
+}
+
+}  // namespace haccs::clustering

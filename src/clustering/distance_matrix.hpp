@@ -1,0 +1,45 @@
+// Symmetric pairwise-distance matrix.
+//
+// The HACCS server computes all pairwise summary distances once at the start
+// of training (Algorithm 1, "computed at the start of training"); both
+// density-based clustering algorithms then operate purely on this matrix.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace haccs::clustering {
+
+class DistanceMatrix {
+ public:
+  /// Zero-initialized n x n matrix.
+  explicit DistanceMatrix(std::size_t n);
+
+  /// Builds the matrix by evaluating `distance(i, j)` for every i < j
+  /// (diagonal fixed at 0, symmetry enforced). Evaluation is parallelized
+  /// over rows.
+  static DistanceMatrix build(
+      std::size_t n,
+      const std::function<double(std::size_t, std::size_t)>& distance);
+
+  std::size_t size() const { return n_; }
+
+  double at(std::size_t i, std::size_t j) const { return data_[i * n_ + j]; }
+  void set(std::size_t i, std::size_t j, double value);
+
+  /// Indices of all points within `eps` of `center` (excluding the center
+  /// itself), i.e. the eps-neighborhood used by DBSCAN/OPTICS.
+  std::vector<std::size_t> neighbors_within(std::size_t center,
+                                            double eps) const;
+
+  /// Distance to the k-th nearest other point (k >= 1) — the core-distance
+  /// primitive.
+  double kth_nearest_distance(std::size_t center, std::size_t k) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace haccs::clustering

@@ -1,0 +1,46 @@
+// Error-handling helpers.
+//
+// Library code throws exceptions for precondition violations (cheap to check,
+// caller-facing) and uses HACCS_CHECK for internal invariants. Following the
+// C++ Core Guidelines (I.10, E.2) we never signal errors through return codes
+// in the public API.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace haccs {
+
+/// Thrown when an internal invariant is violated — indicates a bug in this
+/// library rather than bad user input.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HACCS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace haccs
+
+#define HACCS_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::haccs::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (false)
+
+#define HACCS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::haccs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)

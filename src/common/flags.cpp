@@ -1,0 +1,99 @@
+#include "src/common/flags.hpp"
+
+#include <stdexcept>
+
+namespace haccs {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' not supported");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--no-foo` form for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      values_[body.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag; otherwise a
+    // bare boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) consumed_[name] = true;
+  return it != values_.end();
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+void Flags::check_unused() const {
+  std::string unused;
+  for (const auto& [name, _] : values_) {
+    if (!consumed_.count(name)) {
+      if (!unused.empty()) unused += ", ";
+      unused += "--" + name;
+    }
+  }
+  if (!unused.empty()) {
+    throw std::invalid_argument("unknown flags: " + unused);
+  }
+}
+
+}  // namespace haccs

@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// Benches and examples narrate progress at Info level; the FL round engine
+// logs per-round details at Debug. The level is process-global and defaults
+// to Info; tests set it to Warn to keep ctest output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace haccs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace haccs
+
+#define HACCS_LOG(level)                                  \
+  if (static_cast<int>(::haccs::LogLevel::level) <        \
+      static_cast<int>(::haccs::log_level())) {           \
+  } else                                                  \
+    ::haccs::detail::LogStream(::haccs::LogLevel::level)
+
+#define HACCS_DEBUG HACCS_LOG(Debug)
+#define HACCS_INFO HACCS_LOG(Info)
+#define HACCS_WARN HACCS_LOG(Warn)
+#define HACCS_ERROR HACCS_LOG(Error)

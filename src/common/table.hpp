@@ -1,0 +1,41 @@
+// Aligned console tables and CSV emission for the benchmark harness.
+//
+// Every bench binary prints its results twice: a human-readable aligned table
+// (the rows the paper's figure/table reports) and, when --csv=<path> is
+// given, a machine-readable CSV for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace haccs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats numbers with fixed precision for use in add_row.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the aligned table to a string (including header separator).
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace haccs

@@ -1,0 +1,107 @@
+#include "src/common/threadpool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace haccs {
+
+namespace {
+/// Set while the current thread is a pool worker; nested parallel_for calls
+/// from inside a task run inline instead of re-entering the queue (blocking
+/// a worker on the queue it is supposed to drain can deadlock the pool).
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  auto fut = wrapped.get_future();
+  if (workers_.empty()) {
+    wrapped();  // inline mode
+    return fut;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0u;
+  }());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    t_inside_pool_worker = true;
+    task();  // exceptions are captured by the packaged_task's future
+    t_inside_pool_worker = false;
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.size();
+  if (workers == 0 || n == 1 || t_inside_pool_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, workers + 1);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(ThreadPool::global(), begin, end, fn);
+}
+
+}  // namespace haccs

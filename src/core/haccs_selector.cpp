@@ -1,0 +1,175 @@
+#include "src/core/haccs_selector.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+
+namespace haccs::core {
+
+HaccsSelector::HaccsSelector(const data::FederatedDataset& dataset,
+                             HaccsConfig config)
+    : config_(config), dataset_(&dataset) {
+  if (config_.rho < 0.0 || config_.rho > 1.0) {
+    throw std::invalid_argument("HaccsSelector: rho must be in [0, 1]");
+  }
+  build_clusters(cluster_clients(dataset, config_));
+}
+
+HaccsSelector::HaccsSelector(std::vector<int> cluster_labels,
+                             HaccsConfig config)
+    : config_(config) {
+  if (config_.rho < 0.0 || config_.rho > 1.0) {
+    throw std::invalid_argument("HaccsSelector: rho must be in [0, 1]");
+  }
+  build_clusters(std::move(cluster_labels));
+}
+
+std::string HaccsSelector::name() const {
+  return "HACCS-" + stats::to_string(config_.summary);
+}
+
+void HaccsSelector::recluster(const data::FederatedDataset& dataset) {
+  build_clusters(cluster_clients(dataset, config_));
+}
+
+void HaccsSelector::set_clusters(std::vector<int> cluster_labels) {
+  if (!cluster_of_.empty() && cluster_labels.size() != cluster_of_.size()) {
+    throw std::invalid_argument("set_clusters: arity mismatch");
+  }
+  build_clusters(std::move(cluster_labels));
+}
+
+void HaccsSelector::build_clusters(std::vector<int> raw_labels) {
+  // Remap noise (-1) to fresh singleton cluster ids: a client whose
+  // distribution matches nobody must still be representable in scheduling.
+  int max_label = -1;
+  for (int l : raw_labels) max_label = std::max(max_label, l);
+  int next = max_label + 1;
+  for (int& l : raw_labels) {
+    if (l < 0) l = next++;
+  }
+  cluster_of_ = std::move(raw_labels);
+  clusters_.assign(static_cast<std::size_t>(next), {});
+  for (std::size_t i = 0; i < cluster_of_.size(); ++i) {
+    clusters_[static_cast<std::size_t>(cluster_of_[i])].push_back(i);
+  }
+  // Drop empty cluster slots (possible when labels are non-contiguous).
+  std::erase_if(clusters_, [](const auto& c) { return c.empty(); });
+  // Rebuild the id map to match the compacted cluster list.
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (std::size_t member : clusters_[c]) {
+      cluster_of_[member] = static_cast<int>(c);
+    }
+  }
+}
+
+std::vector<double> HaccsSelector::cluster_weights(
+    const std::vector<fl::ClientRuntimeInfo>& clients) const {
+  HACCS_CHECK_MSG(clients.size() == cluster_of_.size(),
+                  "HaccsSelector: view arity mismatch");
+  const std::size_t k = clusters_.size();
+  std::vector<double> avg_loss(k, 0.0), avg_latency(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double loss_sum = 0.0, latency_sum = 0.0;
+    for (std::size_t member : clusters_[c]) {
+      loss_sum += clients[member].last_loss;
+      latency_sum += clients[member].latency_s;
+    }
+    const auto n = static_cast<double>(clusters_[c].size());
+    avg_loss[c] = loss_sum / n;
+    avg_latency[c] = latency_sum / n;
+  }
+
+  const double latency_max =
+      *std::max_element(avg_latency.begin(), avg_latency.end());
+  double loss_total = 0.0;
+  for (double l : avg_loss) loss_total += l;
+
+  std::vector<double> weights(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double tau =
+        latency_max > 0.0 ? 1.0 - avg_latency[c] / latency_max : 0.0;  // Eq. 6
+    const double norm_loss = loss_total > 0.0 ? avg_loss[c] / loss_total : 0.0;
+    weights[c] = config_.rho * tau + (1.0 - config_.rho) * norm_loss;  // Eq. 7
+  }
+  // Degenerate case (single cluster with rho = 1 gives all-zero weights):
+  // fall back to uniform so sampling stays well-defined.
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) std::fill(weights.begin(), weights.end(), 1.0);
+  return weights;
+}
+
+std::vector<std::size_t> HaccsSelector::select(
+    std::size_t k, const std::vector<fl::ClientRuntimeInfo>& clients,
+    std::size_t epoch, Rng& rng) {
+  // §IV-C adaptation: refresh cluster assignments from current summaries on
+  // the configured cadence (the dataset reference sees any drift applied by
+  // the experiment's epoch callback).
+  if (config_.recluster_every > 0 && dataset_ != nullptr && epoch > 0 &&
+      epoch % config_.recluster_every == 0) {
+    recluster(*dataset_);
+  }
+  const auto weights = cluster_weights(clients);
+
+  // Remaining (available, not yet chosen) members per cluster.
+  std::vector<std::vector<std::size_t>> remaining(clusters_.size());
+  std::size_t total_available = 0;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (std::size_t member : clusters_[c]) {
+      if (clients[member].available) {
+        remaining[c].push_back(member);
+        ++total_available;
+      }
+    }
+  }
+  if (total_available == 0) return {};
+  k = std::min(k, total_available);
+
+  auto pick_from = [&](std::vector<std::size_t>& pool) -> std::size_t {
+    HACCS_CHECK(!pool.empty());
+    std::size_t chosen_index = 0;
+    if (config_.in_cluster == InClusterPolicy::MinLatency) {
+      for (std::size_t i = 1; i < pool.size(); ++i) {
+        if (clients[pool[i]].latency_s < clients[pool[chosen_index]].latency_s) {
+          chosen_index = i;
+        }
+      }
+    } else {
+      // Latency-weighted sampling: weight ∝ 1 / latency, so stragglers keep
+      // a nonzero chance (§V-E's bias mitigation).
+      std::vector<double> w;
+      w.reserve(pool.size());
+      for (std::size_t id : pool) {
+        w.push_back(1.0 / std::max(clients[id].latency_s, 1e-9));
+      }
+      chosen_index = rng.categorical(w);
+    }
+    const std::size_t client_id = pool[chosen_index];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen_index));
+    return client_id;
+  };
+
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  // Weighted-SRSWR over clusters: each of the k slots samples a cluster
+  // independently (with replacement); a sampled cluster that has run out of
+  // available devices forfeits the draw to the next-weighted cluster.
+  while (out.size() < k) {
+    std::size_t cluster = rng.categorical(weights);
+    if (remaining[cluster].empty()) {
+      // Redraw among clusters that still have devices; guaranteed to exist
+      // because out.size() < k <= total_available.
+      std::vector<double> fallback(weights);
+      for (std::size_t c = 0; c < fallback.size(); ++c) {
+        if (remaining[c].empty()) fallback[c] = 0.0;
+      }
+      cluster = rng.categorical(fallback);
+    }
+    out.push_back(pick_from(remaining[cluster]));
+  }
+  return out;
+}
+
+}  // namespace haccs::core

@@ -1,0 +1,70 @@
+// The HACCS client-selection strategy (paper §IV-D, Algorithm 1).
+//
+// At construction the selector runs the summary/clustering pipeline once
+// ("computed at the start of training"). Each epoch it:
+//   1. computes per-cluster average loss (ACL_i) and average latency from
+//      the engine's runtime view,
+//   2. forms sampling weights θ_i = ρ·τ_i + (1-ρ)·ACL_i / ΣACL_j  (Eq. 7)
+//      with τ_i = 1 − Latency_i / Latency_max                     (Eq. 6),
+//   3. draws k clusters by weighted simple random sampling *with*
+//      replacement (Weighted-SRSWR),
+//   4. takes the lowest-latency available device not yet chosen from each
+//      sampled cluster (or latency-weighted random, §V-E's alternative).
+//
+// Noise points from the clustering are treated as singleton clusters, so a
+// client with a unique distribution still represents itself. Devices that
+// dropped out are skipped within their cluster — the paper's robustness
+// story: the next-fastest device with the same distribution stands in.
+#pragma once
+
+#include "src/core/pipeline.hpp"
+#include "src/fl/selector.hpp"
+
+namespace haccs::core {
+
+class HaccsSelector final : public fl::ClientSelector {
+ public:
+  /// Runs the clustering pipeline on `dataset` immediately.
+  HaccsSelector(const data::FederatedDataset& dataset, HaccsConfig config);
+
+  /// Uses precomputed cluster labels (for tests / ablations).
+  HaccsSelector(std::vector<int> cluster_labels, HaccsConfig config);
+
+  std::vector<std::size_t> select(std::size_t k,
+                                  const std::vector<fl::ClientRuntimeInfo>& clients,
+                                  std::size_t epoch, Rng& rng) override;
+  std::string name() const override;
+
+  /// Re-runs clustering (e.g. after clients join/leave or summaries change,
+  /// §IV-C's real-time adaptation).
+  void recluster(const data::FederatedDataset& dataset);
+
+  /// Replaces the cluster assignment wholesale (noise remapped to
+  /// singletons). Used by dynamic schedulers that derive clusters from
+  /// signals other than data summaries (e.g. gradient directions).
+  void set_clusters(std::vector<int> cluster_labels);
+
+  /// Cluster label per client; -1 never appears here (noise points are
+  /// remapped to singleton clusters).
+  const std::vector<int>& cluster_of() const { return cluster_of_; }
+  std::size_t num_clusters() const { return clusters_.size(); }
+  const std::vector<std::vector<std::size_t>>& clusters() const {
+    return clusters_;
+  }
+
+  /// Eq. 7 weights for the given runtime view (exposed for tests).
+  std::vector<double> cluster_weights(
+      const std::vector<fl::ClientRuntimeInfo>& clients) const;
+
+ private:
+  void build_clusters(std::vector<int> raw_labels);
+
+  HaccsConfig config_;
+  /// Set only by the dataset-constructing constructor; enables
+  /// config_.recluster_every. The dataset must outlive the selector.
+  const data::FederatedDataset* dataset_ = nullptr;
+  std::vector<int> cluster_of_;
+  std::vector<std::vector<std::size_t>> clusters_;
+};
+
+}  // namespace haccs::core

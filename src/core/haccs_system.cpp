@@ -1,0 +1,67 @@
+#include "src/core/haccs_system.hpp"
+
+#include <stdexcept>
+
+namespace haccs::core {
+
+HaccsSystem::HaccsSystem(const data::FederatedDataset& dataset,
+                         HaccsConfig haccs_config,
+                         fl::EngineConfig engine_config,
+                         std::function<nn::Sequential()> model_factory)
+    : dataset_(dataset),
+      haccs_config_(haccs_config),
+      trainer_(dataset, std::move(model_factory), engine_config) {}
+
+fl::TrainingHistory HaccsSystem::train() {
+  HaccsSelector selector(dataset_, haccs_config_);
+  return trainer_.run(selector);
+}
+
+fl::TrainingHistory HaccsSystem::train(const sim::DropoutSchedule& dropout) {
+  HaccsSelector selector(dataset_, haccs_config_);
+  return trainer_.run(selector, dropout);
+}
+
+fl::TrainingHistory HaccsSystem::train_with(fl::ClientSelector& selector) {
+  return trainer_.run(selector);
+}
+
+fl::TrainingHistory HaccsSystem::train_with(
+    fl::ClientSelector& selector, const sim::DropoutSchedule& dropout) {
+  return trainer_.run(selector, dropout);
+}
+
+std::vector<int> HaccsSystem::cluster_labels() const {
+  return cluster_clients(dataset_, haccs_config_);
+}
+
+std::function<nn::Sequential()> default_model_factory(
+    const data::FederatedDataset& dataset, std::uint64_t seed, bool use_cnn) {
+  if (dataset.clients.empty()) {
+    throw std::invalid_argument("default_model_factory: empty dataset");
+  }
+  const auto shape = dataset.clients[0].train.sample_shape();
+  if (shape.size() != 3) {
+    throw std::invalid_argument(
+        "default_model_factory: expected (C, H, W) samples");
+  }
+  const std::size_t channels = shape[0], h = shape[1], w = shape[2];
+  const std::size_t classes = dataset.num_classes;
+  if (use_cnn) {
+    return [=] {
+      Rng rng(seed);
+      return nn::make_lenet(channels, h, w, classes, rng);
+    };
+  }
+  return [=] {
+    Rng rng(seed);
+    nn::Sequential model;
+    model.add(std::make_unique<nn::Flatten>());
+    model.add(std::make_unique<nn::Dense>(channels * h * w, 64, rng));
+    model.add(std::make_unique<nn::ReLU>());
+    model.add(std::make_unique<nn::Dense>(64, classes, rng));
+    return model;
+  };
+}
+
+}  // namespace haccs::core

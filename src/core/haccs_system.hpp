@@ -1,0 +1,62 @@
+// HaccsSystem — the end-to-end public API (paper Fig. 2).
+//
+// Ties the whole stack together: a federated dataset, a model factory, the
+// simulated heterogeneous testbed, and a selection strategy. Quickstart:
+//
+//   auto gen = data::SyntheticImageGenerator(
+//       data::SyntheticImageConfig::femnist_like());
+//   Rng rng(1);
+//   auto fed = data::partition_majority_label(gen, {}, rng);
+//   core::HaccsSystem system(fed, core::HaccsConfig{}, fl::EngineConfig{},
+//                            core::default_model_factory(fed, 99));
+//   auto history = system.train();            // HACCS scheduling
+//   double tta = history.time_to_accuracy(0.8);
+//
+// Baselines run on the identical substrate via train_with(), which is how
+// every benchmark in bench/ produces its strategy comparisons.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/core/haccs_selector.hpp"
+#include "src/fl/engine.hpp"
+
+namespace haccs::core {
+
+class HaccsSystem {
+ public:
+  HaccsSystem(const data::FederatedDataset& dataset, HaccsConfig haccs_config,
+              fl::EngineConfig engine_config,
+              std::function<nn::Sequential()> model_factory);
+
+  /// Trains with the HACCS selector; a fresh selector (and clustering) is
+  /// built per call.
+  fl::TrainingHistory train();
+  fl::TrainingHistory train(const sim::DropoutSchedule& dropout);
+
+  /// Trains with an arbitrary strategy on the same substrate.
+  fl::TrainingHistory train_with(fl::ClientSelector& selector);
+  fl::TrainingHistory train_with(fl::ClientSelector& selector,
+                                 const sim::DropoutSchedule& dropout);
+
+  /// The cluster labels HACCS would use right now (runs the pipeline).
+  std::vector<int> cluster_labels() const;
+
+  fl::FederatedTrainer& trainer() { return trainer_; }
+  const HaccsConfig& haccs_config() const { return haccs_config_; }
+
+ private:
+  const data::FederatedDataset& dataset_;
+  HaccsConfig haccs_config_;
+  fl::FederatedTrainer trainer_;
+};
+
+/// A model factory suited to the dataset's sample shape: LeNet-style CNN
+/// when `use_cnn`, otherwise an MLP over flattened features. The returned
+/// factory is deterministic in `seed`.
+std::function<nn::Sequential()> default_model_factory(
+    const data::FederatedDataset& dataset, std::uint64_t seed,
+    bool use_cnn = false);
+
+}  // namespace haccs::core

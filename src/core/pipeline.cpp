@@ -1,0 +1,156 @@
+#include "src/core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+
+namespace haccs::core {
+
+std::string to_string(Extraction e) {
+  switch (e) {
+    case Extraction::Auto: return "auto";
+    case Extraction::Xi: return "xi";
+    case Extraction::Dbscan: return "dbscan";
+  }
+  throw std::invalid_argument("to_string: bad Extraction");
+}
+
+std::string to_string(ClusterAlgorithm a) {
+  switch (a) {
+    case ClusterAlgorithm::Optics: return "optics";
+    case ClusterAlgorithm::Dbscan: return "dbscan";
+  }
+  throw std::invalid_argument("to_string: bad ClusterAlgorithm");
+}
+
+std::string to_string(InClusterPolicy p) {
+  switch (p) {
+    case InClusterPolicy::MinLatency: return "min_latency";
+    case InClusterPolicy::WeightedRandom: return "weighted_random";
+  }
+  throw std::invalid_argument("to_string: bad InClusterPolicy");
+}
+
+double ClientSummary::distance(const ClientSummary& a, const ClientSummary& b,
+                               stats::DistanceKind kind) {
+  if (a.kind != b.kind) {
+    throw std::invalid_argument("ClientSummary::distance: kind mismatch");
+  }
+  if (a.kind == stats::SummaryKind::Response) {
+    return stats::distribution_distance(a.response.label_counts.counts(),
+                                        b.response.label_counts.counts(),
+                                        kind);
+  }
+  if (a.kind == stats::SummaryKind::Quantile) {
+    return stats::quantile_distance(a.quantile, b.quantile, a.quantile_config);
+  }
+  return stats::distance(a.conditional, b.conditional);
+}
+
+std::vector<ClientSummary> compute_summaries(
+    const data::FederatedDataset& dataset, const HaccsConfig& config) {
+  std::vector<ClientSummary> summaries;
+  summaries.reserve(dataset.clients.size());
+  Rng noise_root(config.privacy_seed);
+  for (const auto& client : dataset.clients) {
+    ClientSummary s;
+    s.kind = config.summary;
+    Rng client_noise = noise_root.fork();  // independent stream per device
+    if (config.summary == stats::SummaryKind::Response) {
+      s.response = stats::privatize(stats::summarize_response(client.train),
+                                    config.privacy, client_noise);
+    } else if (config.summary == stats::SummaryKind::Quantile) {
+      s.quantile_config = config.quantile;
+      s.quantile = stats::privatize(
+          stats::summarize_quantiles(client.train, config.quantile),
+          config.quantile, config.privacy, client_noise);
+    } else {
+      s.conditional = stats::privatize(
+          stats::summarize_conditional(client.train, config.conditional),
+          config.privacy, client_noise);
+    }
+    summaries.push_back(std::move(s));
+  }
+  return summaries;
+}
+
+clustering::DistanceMatrix summary_distances(
+    const std::vector<ClientSummary>& summaries,
+    stats::DistanceKind response_kind) {
+  if (summaries.empty()) {
+    throw std::invalid_argument("summary_distances: no summaries");
+  }
+  return clustering::DistanceMatrix::build(
+      summaries.size(), [&](std::size_t i, std::size_t j) {
+        return ClientSummary::distance(summaries[i], summaries[j],
+                                       response_kind);
+      });
+}
+
+namespace {
+
+/// "Everyone similar" vs "everyone different": when extraction finds no
+/// structure it returns a single all-encompassing cluster, but that is only
+/// the right degeneration when the summaries actually are similar. Hellinger
+/// distances carry an absolute scale (Eq. 4: bounded in [0, 1], with values
+/// ≲0.2 indistinguishable from sampling noise), so a single cluster whose
+/// mean pairwise distance is large means the opposite — no two clients share
+/// a distribution — and each client must represent itself (the selector
+/// remaps noise to singleton clusters). The paper's Table III shows exactly
+/// this regime: P(X|y) summaries yielding 31 clusters over 50 devices.
+constexpr double kSingleClusterMeanDistanceCap = 0.3;
+
+std::vector<int> dissolve_implausible_single_cluster(
+    std::vector<int> labels, const clustering::DistanceMatrix& distances) {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  if (max_label != 0) return labels;  // zero or 2+ clusters: keep as-is
+  double sum = 0.0;
+  std::size_t count = 0;
+  const std::size_t n = distances.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum += distances.at(i, j);
+      ++count;
+    }
+  }
+  if (count > 0 && sum / static_cast<double>(count) >
+                       kSingleClusterMeanDistanceCap) {
+    std::fill(labels.begin(), labels.end(), -1);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
+                                   const HaccsConfig& config) {
+  if (config.algorithm == ClusterAlgorithm::Dbscan) {
+    return clustering::dbscan(distances, config.dbscan);
+  }
+  const auto result = clustering::optics(distances, config.optics);
+  std::vector<int> labels;
+  switch (config.extraction) {
+    case Extraction::Auto:
+      labels =
+          clustering::extract_auto(result, distances, config.optics.min_pts);
+      break;
+    case Extraction::Xi:
+      labels = clustering::extract_xi(result, config.xi, config.optics.min_pts);
+      break;
+    case Extraction::Dbscan:
+      labels = clustering::extract_dbscan(result, config.dbscan.eps,
+                                          config.optics.min_pts);
+      break;
+  }
+  return dissolve_implausible_single_cluster(std::move(labels), distances);
+}
+
+std::vector<int> cluster_clients(const data::FederatedDataset& dataset,
+                                 const HaccsConfig& config) {
+  const auto summaries = compute_summaries(dataset, config);
+  const auto distances = summary_distances(summaries, config.response_distance);
+  return cluster_distances(distances, config);
+}
+
+}  // namespace haccs::core

@@ -1,0 +1,54 @@
+// The HACCS summary -> privacy -> distance -> clustering pipeline
+// (paper Fig. 2, steps 1-2, and Algorithm 1's "computed at the start of
+// training" preamble).
+//
+// Exposed as free functions so the scheduler, the privacy experiments
+// (Fig. 8a), and the examples can each run exactly the production path.
+#pragma once
+
+#include <vector>
+
+#include "src/clustering/distance_matrix.hpp"
+#include "src/core/haccs_config.hpp"
+#include "src/data/partition.hpp"
+
+namespace haccs::core {
+
+/// A client's reported summary — exactly one of the two kinds is populated,
+/// matching `kind`.
+struct ClientSummary {
+  stats::SummaryKind kind = stats::SummaryKind::Response;
+  stats::ResponseSummary response{1};
+  stats::ConditionalSummary conditional;
+  stats::QuantileSummary quantile;
+  stats::QuantileSummaryConfig quantile_config;
+
+  /// Distance between two summaries of the same kind. Response summaries
+  /// use `kind` (Hellinger per §IV-A unless ablated); conditional summaries
+  /// always use the mass-weighted Hellinger.
+  static double distance(const ClientSummary& a, const ClientSummary& b,
+                         stats::DistanceKind kind = stats::DistanceKind::Hellinger);
+};
+
+/// Computes each client's (optionally privatized) summary. This is the
+/// client-side step: in a deployment each device computes and noises its own
+/// summary before transmission; the per-client noise stream is forked from
+/// `config.privacy_seed`.
+std::vector<ClientSummary> compute_summaries(
+    const data::FederatedDataset& dataset, const HaccsConfig& config);
+
+/// Pairwise summary distances (server side).
+clustering::DistanceMatrix summary_distances(
+    const std::vector<ClientSummary>& summaries,
+    stats::DistanceKind response_kind = stats::DistanceKind::Hellinger);
+
+/// Runs the configured clustering on a distance matrix. Labels >= 0 are
+/// clusters; -1 is noise.
+std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
+                                   const HaccsConfig& config);
+
+/// Full pipeline: summaries -> distances -> clusters.
+std::vector<int> cluster_clients(const data::FederatedDataset& dataset,
+                                 const HaccsConfig& config);
+
+}  // namespace haccs::core

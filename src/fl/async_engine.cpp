@@ -1,0 +1,230 @@
+#include "src/fl/async_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+
+namespace haccs::fl {
+
+AsyncFederatedTrainer::AsyncFederatedTrainer(
+    const data::FederatedDataset& dataset,
+    std::function<nn::Sequential()> model_factory, AsyncEngineConfig config)
+    : dataset_(dataset),
+      model_factory_(std::move(model_factory)),
+      config_(config),
+      latency_model_(config.latency) {
+  if (dataset_.clients.empty()) {
+    throw std::invalid_argument("AsyncFederatedTrainer: no clients");
+  }
+  if (config_.max_in_flight == 0 ||
+      config_.max_in_flight > dataset_.clients.size()) {
+    throw std::invalid_argument(
+        "AsyncFederatedTrainer: max_in_flight out of range");
+  }
+  if (config_.buffer_size == 0 ||
+      config_.buffer_size > config_.max_in_flight) {
+    throw std::invalid_argument(
+        "AsyncFederatedTrainer: buffer_size must be in [1, max_in_flight]");
+  }
+  if (config_.server_lr <= 0.0) {
+    throw std::invalid_argument("AsyncFederatedTrainer: server_lr must be > 0");
+  }
+  if (config_.staleness_alpha < 0.0) {
+    throw std::invalid_argument(
+        "AsyncFederatedTrainer: staleness_alpha must be >= 0");
+  }
+  // Same profile stream derivation as the synchronous engine, so a given
+  // seed assigns identical hardware in both (apples-to-apples comparisons).
+  Rng profile_rng(config_.seed ^ 0xdeadbeefcafef00dULL);
+  profiles_.reserve(dataset_.clients.size());
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    profiles_.push_back(sim::DeviceProfile::sample(profile_rng));
+  }
+}
+
+double AsyncFederatedTrainer::client_latency(std::size_t i) const {
+  if (i >= profiles_.size()) {
+    throw std::out_of_range("client_latency: bad client id");
+  }
+  return latency_model_.round_latency(profiles_[i],
+                                      dataset_.clients[i].train.size());
+}
+
+TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector) {
+  const auto schedule = sim::make_always_available(dataset_.clients.size());
+  return run(selector, *schedule);
+}
+
+TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
+                                           const sim::DropoutSchedule& dropout) {
+  if (dropout.num_clients() != dataset_.clients.size()) {
+    throw std::invalid_argument("run: dropout schedule arity mismatch");
+  }
+  nn::Sequential model = model_factory_();
+  std::vector<float> global_params = model.get_parameters();
+  const std::size_t n = dataset_.clients.size();
+
+  std::vector<ClientRuntimeInfo> view;
+  view.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClientRuntimeInfo info;
+    info.id = i;
+    info.latency_s = client_latency(i);
+    info.num_samples = dataset_.clients[i].train.size();
+    info.last_loss = config_.initial_loss;
+    view.push_back(info);
+  }
+  selector.initialize(view);
+
+  Rng select_rng(config_.seed ^ 0x5e1ec70aULL);
+  Rng train_rng(config_.seed ^ 0x7a314e55ULL);
+  Rng jitter_rng(config_.seed ^ 0x1a7e2c3dULL);
+
+  // Completion events, earliest first (ties: lowest sequence for
+  // determinism).
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    std::size_t client;
+    std::size_t base_version;          // aggregation count at dispatch
+    std::vector<float> delta;          // local - global_at_dispatch
+    double loss;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+
+  std::vector<bool> in_flight(n, false);
+  std::size_t version = 0;      // aggregations completed
+  double now = 0.0;
+  std::uint64_t sequence = 0;
+
+  // Dispatch one client chosen by the selector (in-flight and dropped-out
+  // devices masked). Returns false when nobody is dispatchable.
+  auto dispatch_one = [&]() -> bool {
+    const auto mask = dropout.available(version);
+    for (std::size_t i = 0; i < n; ++i) {
+      view[i].available = mask[i] && !in_flight[i];
+    }
+    const auto picks = selector.select(1, view, version, select_rng);
+    if (picks.empty()) return false;
+    const std::size_t id = picks[0];
+    HACCS_CHECK_MSG(id < n && view[id].available,
+                    "async: selector returned bad client");
+
+    // Train now (simulation: result materializes at completion time).
+    nn::Sequential local_model = model_factory_();
+    local_model.set_parameters(global_params);
+    Rng client_rng = train_rng.fork();
+    const auto result =
+        train_local(local_model, dataset_.clients[id].train, config_.local,
+                    client_rng);
+    const auto updated = local_model.get_parameters();
+    Event event;
+    event.client = id;
+    event.base_version = version;
+    event.loss = result.average_loss;
+    event.delta.resize(updated.size());
+    for (std::size_t p = 0; p < updated.size(); ++p) {
+      event.delta[p] = updated[p] - global_params[p];
+    }
+    const double jitter =
+        config_.latency_jitter_sigma > 0.0
+            ? std::exp(config_.latency_jitter_sigma * jitter_rng.normal())
+            : 1.0;
+    event.time = now + view[id].latency_s * jitter;
+    event.sequence = sequence++;
+    in_flight[id] = true;
+    events.push(event);
+    return true;
+  };
+
+  // Fill the initial in-flight set.
+  for (std::size_t s = 0; s < config_.max_in_flight; ++s) {
+    if (!dispatch_one()) break;
+  }
+
+  TrainingHistory history;
+  std::vector<Event> buffer;
+  double last_aggregation_time = 0.0;
+  double last_accuracy = 0.0, last_loss = config_.initial_loss;
+
+  while (version < config_.aggregations && !events.empty()) {
+    Event event = events.top();
+    events.pop();
+    now = event.time;
+    in_flight[event.client] = false;
+    view[event.client].last_loss = event.loss;
+    selector.report_result(event.client, event.loss, version);
+    buffer.push_back(std::move(event));
+
+    if (buffer.size() >= config_.buffer_size) {
+      // Staleness-weighted buffered aggregation.
+      std::vector<double> accumulated(global_params.size(), 0.0);
+      double total_weight = 0.0;
+      RoundRecord record;
+      for (const auto& update : buffer) {
+        const double staleness =
+            static_cast<double>(version - update.base_version);
+        const double weight =
+            static_cast<double>(dataset_.clients[update.client].train.size()) /
+            std::pow(1.0 + staleness, config_.staleness_alpha);
+        for (std::size_t p = 0; p < accumulated.size(); ++p) {
+          accumulated[p] += weight * static_cast<double>(update.delta[p]);
+        }
+        total_weight += weight;
+        record.selected.push_back(update.client);
+      }
+      buffer.clear();
+      for (std::size_t p = 0; p < global_params.size(); ++p) {
+        global_params[p] += static_cast<float>(
+            config_.server_lr * accumulated[p] / total_weight);
+      }
+      ++version;
+
+      record.epoch = version - 1;
+      record.sim_time_s = now;
+      record.round_duration_s = now - last_aggregation_time;
+      last_aggregation_time = now;
+
+      const bool eval_now = (version - 1) % config_.eval_every == 0 ||
+                            version == config_.aggregations;
+      if (eval_now) {
+        model.set_parameters(global_params);
+        double acc = 0.0, loss = 0.0;
+        for (const auto& client : dataset_.clients) {
+          const auto r = evaluate(model, client.test);
+          acc += r.accuracy;
+          loss += r.loss;
+        }
+        last_accuracy = acc / static_cast<double>(n);
+        last_loss = loss / static_cast<double>(n);
+      }
+      record.global_accuracy = last_accuracy;
+      record.global_loss = last_loss;
+      history.add(std::move(record));
+    }
+
+    // Refill freed capacity.
+    std::size_t active = 0;
+    for (bool f : in_flight) {
+      if (f) ++active;
+    }
+    while (active + buffer.size() < config_.max_in_flight) {
+      if (!dispatch_one()) break;
+      ++active;
+    }
+  }
+
+  final_parameters_ = std::move(global_params);
+  return history;
+}
+
+}  // namespace haccs::fl

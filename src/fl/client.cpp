@@ -1,0 +1,85 @@
+#include "src/fl/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/nn/loss.hpp"
+
+namespace haccs::fl {
+
+LocalTrainResult train_local(nn::Sequential& model,
+                             const data::Dataset& dataset,
+                             const LocalTrainConfig& config, Rng& rng) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("train_local: empty dataset");
+  }
+  if (config.batch_size == 0 || config.epochs == 0) {
+    throw std::invalid_argument("train_local: zero batch size or epochs");
+  }
+  model.set_training(true);
+  nn::SgdOptimizer optimizer(config.sgd);
+
+  LocalTrainResult result;
+  double loss_sum = 0.0;
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(indices);
+    for (std::size_t start = 0; start < indices.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(indices.size(), start + config.batch_size);
+      const std::span<const std::size_t> batch(indices.data() + start,
+                                               end - start);
+      const Tensor features = dataset.batch_features(batch);
+      const auto labels = dataset.batch_labels(batch);
+
+      model.zero_grad();
+      const Tensor logits = model.forward(features);
+      auto loss = nn::softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad_logits);
+      optimizer.step(model);
+
+      loss_sum += loss.loss;
+      result.final_loss = loss.loss;
+      ++result.batches;
+    }
+  }
+  result.average_loss = loss_sum / static_cast<double>(result.batches);
+  return result;
+}
+
+EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
+                    std::size_t batch_size) {
+  EvalResult result;
+  if (dataset.empty()) return result;
+  if (batch_size == 0) {
+    throw std::invalid_argument("evaluate: zero batch size");
+  }
+  model.set_training(false);
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+    const std::size_t end = std::min(indices.size(), start + batch_size);
+    const std::span<const std::size_t> batch(indices.data() + start,
+                                             end - start);
+    const Tensor features = dataset.batch_features(batch);
+    const auto labels = dataset.batch_labels(batch);
+    const Tensor logits = model.forward(features);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    loss_sum += loss.loss * static_cast<double>(batch.size());
+    correct += loss.correct;
+  }
+  model.set_training(true);
+  result.samples = dataset.size();
+  result.loss = loss_sum / static_cast<double>(dataset.size());
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(dataset.size());
+  return result;
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,114 @@
+#include "src/fl/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace haccs::fl {
+
+std::size_t dense_wire_bytes(std::size_t n) { return n * sizeof(float); }
+
+std::size_t compressed_wire_bytes(std::size_t n,
+                                  const CompressionConfig& config) {
+  switch (config.kind) {
+    case CompressionKind::None:
+      return dense_wire_bytes(n);
+    case CompressionKind::TopK: {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 config.topk_fraction * static_cast<double>(n))));
+      // Each kept coordinate ships a 4-byte index and a 4-byte value.
+      return k * (sizeof(std::uint32_t) + sizeof(float));
+    }
+    case CompressionKind::Int8:
+      // One byte per coordinate plus the two dequantization scalars.
+      return n * sizeof(std::int8_t) + 2 * sizeof(float);
+  }
+  throw std::invalid_argument("compressed_wire_bytes: bad kind");
+}
+
+CompressedUpdate compress_update(std::span<const float> update,
+                                 const CompressionConfig& config,
+                                 std::vector<float>& residual) {
+  const std::size_t n = update.size();
+  if (config.kind == CompressionKind::TopK &&
+      (config.topk_fraction <= 0.0 || config.topk_fraction > 1.0)) {
+    throw std::invalid_argument("compress_update: bad topk_fraction");
+  }
+  if (config.error_feedback && residual.size() != n) {
+    residual.assign(n, 0.0f);
+  }
+
+  // The signal the compressor sees: this round's update plus carried error.
+  std::vector<float> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = update[i] +
+                (config.error_feedback ? residual[i] : 0.0f);
+  }
+
+  CompressedUpdate out;
+  out.wire_bytes = compressed_wire_bytes(n, config);
+
+  switch (config.kind) {
+    case CompressionKind::None: {
+      out.dense = std::move(signal);
+      if (config.error_feedback) std::fill(residual.begin(), residual.end(), 0.0f);
+      return out;
+    }
+    case CompressionKind::TopK: {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 config.topk_fraction * static_cast<double>(n))));
+      // Threshold = k-th largest magnitude.
+      std::vector<float> magnitudes(n);
+      for (std::size_t i = 0; i < n; ++i) magnitudes[i] = std::abs(signal[i]);
+      std::nth_element(magnitudes.begin(),
+                       magnitudes.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       magnitudes.end(), std::greater<float>());
+      const float threshold = magnitudes[k - 1];
+      out.dense.assign(n, 0.0f);
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < n && kept < k; ++i) {
+        if (std::abs(signal[i]) >= threshold) {
+          out.dense[i] = signal[i];
+          ++kept;
+        }
+      }
+      if (config.error_feedback) {
+        for (std::size_t i = 0; i < n; ++i) {
+          residual[i] = signal[i] - out.dense[i];
+        }
+      }
+      return out;
+    }
+    case CompressionKind::Int8: {
+      float lo = 0.0f, hi = 0.0f;
+      for (float v : signal) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      out.dense.resize(n);
+      const float range = hi - lo;
+      if (range <= 0.0f) {
+        // Constant signal quantizes exactly.
+        out.dense = signal;
+      } else {
+        const float step = range / 255.0f;
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto q = static_cast<int>(
+              std::lround((signal[i] - lo) / step));
+          out.dense[i] = lo + static_cast<float>(std::clamp(q, 0, 255)) * step;
+        }
+      }
+      if (config.error_feedback) {
+        for (std::size_t i = 0; i < n; ++i) {
+          residual[i] = signal[i] - out.dense[i];
+        }
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("compress_update: bad kind");
+}
+
+}  // namespace haccs::fl

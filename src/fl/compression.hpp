@@ -1,0 +1,58 @@
+// Update compression for the uplink: top-k sparsification and linear int8
+// quantization, with client-side error feedback.
+//
+// Transfer time dominates slow clients' round latency (Table II bandwidths
+// go down to 1 Mbps), so shrinking the model update directly attacks the
+// same straggler problem HACCS schedules around — and composes with it: the
+// selector decides WHO sends, the compressor decides HOW MANY BYTES. The
+// engine wires compressed sizes into the latency model so the TTA effect is
+// measurable (bench/ablation_compression).
+//
+// Error feedback (Seide et al.; Stich et al.) keeps the residual of each
+// round's compression and adds it to the next update, preserving
+// convergence under biased compressors like top-k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace haccs::fl {
+
+enum class CompressionKind {
+  None,
+  TopK,   ///< keep the k largest-magnitude coordinates
+  Int8,   ///< per-tensor linear quantization to 8 bits
+};
+
+struct CompressionConfig {
+  CompressionKind kind = CompressionKind::None;
+  /// For TopK: fraction of coordinates kept (0 < fraction <= 1).
+  double topk_fraction = 0.1;
+  /// Enables client-side error feedback (residual accumulation).
+  bool error_feedback = true;
+};
+
+/// A compressed update plus the metadata needed to size its transfer.
+struct CompressedUpdate {
+  /// Dense reconstruction of the update (what the server applies).
+  std::vector<float> dense;
+  /// Bytes this update would occupy on the wire.
+  std::size_t wire_bytes = 0;
+};
+
+/// Compresses `update` (dense, length n). `residual` carries error feedback
+/// across rounds: pass the same buffer every round (it is resized on first
+/// use); ignored when config.error_feedback is false.
+CompressedUpdate compress_update(std::span<const float> update,
+                                 const CompressionConfig& config,
+                                 std::vector<float>& residual);
+
+/// Wire size of an uncompressed update of length n.
+std::size_t dense_wire_bytes(std::size_t n);
+
+/// Wire size after compression (without running the compressor): used by
+/// the latency model to price the uplink.
+std::size_t compressed_wire_bytes(std::size_t n, const CompressionConfig& config);
+
+}  // namespace haccs::fl

@@ -1,0 +1,265 @@
+#include "src/fl/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+#include "src/common/threadpool.hpp"
+#include "src/common/logging.hpp"
+
+namespace haccs::fl {
+
+FederatedTrainer::FederatedTrainer(const data::FederatedDataset& dataset,
+                                   std::function<nn::Sequential()> model_factory,
+                                   EngineConfig config)
+    : dataset_(dataset),
+      model_factory_(std::move(model_factory)),
+      config_(config),
+      latency_model_(config.latency) {
+  if (dataset_.clients.empty()) {
+    throw std::invalid_argument("FederatedTrainer: no clients");
+  }
+  if (config_.clients_per_round == 0 ||
+      config_.clients_per_round > dataset_.clients.size()) {
+    throw std::invalid_argument(
+        "FederatedTrainer: clients_per_round out of range");
+  }
+  if (config_.eval_every == 0) {
+    throw std::invalid_argument("FederatedTrainer: eval_every must be > 0");
+  }
+  // Device profiles: one stream derived from the seed, independent of the
+  // training stream so that adding rounds never changes hardware assignment.
+  Rng profile_rng(config_.seed ^ 0xdeadbeefcafef00dULL);
+  profiles_.reserve(dataset_.clients.size());
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    profiles_.push_back(sim::DeviceProfile::sample(profile_rng));
+  }
+  // Uplink payload under the configured compression (the parameter count
+  // comes from one throwaway factory build).
+  const std::size_t param_count = model_factory_().parameter_count();
+  upload_bytes_ = compressed_wire_bytes(param_count, config_.compression);
+}
+
+double FederatedTrainer::client_latency(std::size_t i) const {
+  if (i >= profiles_.size()) {
+    throw std::out_of_range("client_latency: bad client id");
+  }
+  if (config_.compression.kind != CompressionKind::None) {
+    return latency_model_.round_latency_asymmetric(
+        profiles_[i], dataset_.clients[i].train.size(),
+        config_.latency.model_bytes, upload_bytes_);
+  }
+  return latency_model_.round_latency(profiles_[i],
+                                      dataset_.clients[i].train.size());
+}
+
+double FederatedTrainer::client_latency_at(std::size_t i,
+                                           std::size_t epoch) const {
+  const double base = client_latency(i);
+  if (config_.latency_jitter_sigma <= 0.0) return base;
+  // One fresh generator per (seed, epoch, client): order-independent and
+  // identical across strategies, like the dropout draws.
+  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (epoch + 1)) ^
+          (0xc2b2ae3d27d4eb4fULL * (i + 1)));
+  return base * std::exp(config_.latency_jitter_sigma * rng.normal());
+}
+
+std::vector<ClientRuntimeInfo> FederatedTrainer::make_client_view() const {
+  std::vector<ClientRuntimeInfo> view;
+  view.reserve(dataset_.clients.size());
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    ClientRuntimeInfo info;
+    info.id = i;
+    info.latency_s = client_latency(i);
+    info.num_samples = dataset_.clients[i].train.size();
+    info.last_loss = config_.initial_loss;
+    info.available = true;
+    view.push_back(info);
+  }
+  return view;
+}
+
+FederatedTrainer::GlobalEval FederatedTrainer::evaluate_global(
+    nn::Sequential& model, std::vector<double>* per_client) const {
+  GlobalEval eval;
+  if (per_client) per_client->assign(dataset_.clients.size(), 0.0);
+  // "The overall accuracy is the average test accuracy on all devices" —
+  // every device counts equally, including those currently unavailable.
+  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+    const auto r = evaluate(model, dataset_.clients[i].test);
+    eval.accuracy += r.accuracy;
+    eval.loss += r.loss;
+    if (per_client) (*per_client)[i] = r.accuracy;
+  }
+  const auto n = static_cast<double>(dataset_.clients.size());
+  eval.accuracy /= n;
+  eval.loss /= n;
+  return eval;
+}
+
+TrainingHistory FederatedTrainer::run(ClientSelector& selector) {
+  const auto schedule = sim::make_always_available(dataset_.clients.size());
+  return run(selector, *schedule);
+}
+
+TrainingHistory FederatedTrainer::run(ClientSelector& selector,
+                                      const sim::DropoutSchedule& dropout) {
+  if (dropout.num_clients() != dataset_.clients.size()) {
+    throw std::invalid_argument("run: dropout schedule arity mismatch");
+  }
+  nn::Sequential model = model_factory_();
+  std::vector<float> global_params = model.get_parameters();
+
+  auto view = make_client_view();
+  selector.initialize(view);
+
+  // Per-client error-feedback residuals for update compression.
+  std::vector<std::vector<float>> residuals(dataset_.clients.size());
+
+  // Separate streams: selection randomness must not perturb training
+  // randomness (and vice versa) so strategies stay comparable.
+  Rng select_rng(config_.seed ^ 0x5e1ec70aULL);
+  Rng train_rng(config_.seed ^ 0x7a314e55ULL);
+
+  TrainingHistory history;
+  sim::SimClock clock;
+  double last_accuracy = 0.0;
+  double last_loss = config_.initial_loss;
+
+  for (std::size_t epoch = 0; epoch < config_.rounds; ++epoch) {
+    if (config_.on_epoch_begin) config_.on_epoch_begin(epoch);
+    const auto mask = dropout.available(epoch);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      view[i].available = mask[i];
+      view[i].latency_s = client_latency_at(i, epoch);
+    }
+
+    auto selected =
+        selector.select(config_.clients_per_round, view, epoch, select_rng);
+
+    // Engine-enforced invariants: distinct, in-range, available.
+    std::unordered_set<std::size_t> seen;
+    std::vector<std::size_t> participants;
+    for (std::size_t id : selected) {
+      HACCS_CHECK_MSG(id < view.size(), "selector returned bad client id");
+      HACCS_CHECK_MSG(mask[id], "selector returned unavailable client");
+      if (seen.insert(id).second) participants.push_back(id);
+    }
+    HACCS_CHECK_MSG(participants.size() <= config_.clients_per_round,
+                    "selector returned too many clients");
+
+    std::vector<double> latencies;
+    if (!participants.empty()) {
+      // Fastest participant's latency anchors FedProx work scaling.
+      double min_latency = view[participants.front()].latency_s;
+      for (std::size_t id : participants) {
+        min_latency = std::min(min_latency, view[id].latency_s);
+      }
+      // Fork the per-client training streams serially (deterministic order),
+      // then train all participants in parallel — clients within a round are
+      // independent, exactly like the real system. Each worker gets its own
+      // model instance from the deterministic factory.
+      std::vector<Rng> client_rngs;
+      client_rngs.reserve(participants.size());
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        client_rngs.push_back(train_rng.fork());
+      }
+      std::vector<std::vector<float>> updated_params(participants.size());
+      std::vector<LocalTrainResult> results(participants.size());
+      parallel_for(0, participants.size(), [&](std::size_t i) {
+        const std::size_t id = participants[i];
+        nn::Sequential local_model = model_factory_();
+        LocalTrainResult result;
+        if (config_.algorithm == LocalAlgorithm::FedProx) {
+          FedProxConfig prox;
+          prox.local = config_.local;
+          prox.mu = config_.fedprox_mu;
+          prox.work_fraction = fedprox_work_fraction(
+              view[id].latency_s / std::max(min_latency, 1e-9),
+              config_.fedprox_min_work);
+          result = train_local_fedprox(local_model, global_params,
+                                       dataset_.clients[id].train, prox,
+                                       client_rngs[i]);
+        } else {
+          local_model.set_parameters(global_params);
+          result = train_local(local_model, dataset_.clients[id].train,
+                               config_.local, client_rngs[i]);
+        }
+        auto updated = local_model.get_parameters();
+        if (config_.compression.kind != CompressionKind::None) {
+          // Compress the delta the client uploads; the server reconstructs
+          // global + dense(delta). Residual state is per-client, and each
+          // client appears at most once per round, so this is race-free.
+          std::vector<float> delta(updated.size());
+          for (std::size_t p = 0; p < updated.size(); ++p) {
+            delta[p] = updated[p] - global_params[p];
+          }
+          const auto compressed =
+              compress_update(delta, config_.compression, residuals[id]);
+          for (std::size_t p = 0; p < updated.size(); ++p) {
+            updated[p] = global_params[p] + compressed.dense[p];
+          }
+        }
+        updated_params[i] = std::move(updated);
+        results[i] = result;
+      });
+
+      // FedAvg: weighted average of locally-updated parameters, accumulated
+      // in participant order so the result is independent of worker timing.
+      std::vector<double> accumulated(global_params.size(), 0.0);
+      double total_weight = 0.0;
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        const std::size_t id = participants[i];
+        const auto weight =
+            static_cast<double>(dataset_.clients[id].train.size());
+        const auto& updated = updated_params[i];
+        for (std::size_t p = 0; p < updated.size(); ++p) {
+          accumulated[p] += weight * static_cast<double>(updated[p]);
+        }
+        total_weight += weight;
+        view[id].last_loss = results[i].average_loss;
+        selector.report_result(id, results[i].average_loss, epoch);
+        // Parameter delta for gradient-direction schedulers.
+        std::vector<float> delta(updated.size());
+        for (std::size_t p = 0; p < updated.size(); ++p) {
+          delta[p] = updated[p] - global_params[p];
+        }
+        selector.report_update(id, delta, epoch);
+        latencies.push_back(view[id].latency_s);
+      }
+      for (std::size_t p = 0; p < global_params.size(); ++p) {
+        global_params[p] = static_cast<float>(accumulated[p] / total_weight);
+      }
+    }
+
+    const double round_duration = clock.advance_round(latencies);
+
+    RoundRecord record;
+    record.epoch = epoch;
+    record.sim_time_s = clock.now();
+    record.round_duration_s = round_duration;
+    record.selected = std::move(participants);
+
+    const bool eval_now =
+        (epoch % config_.eval_every == 0) || (epoch + 1 == config_.rounds);
+    if (eval_now) {
+      model.set_parameters(global_params);
+      const bool final_round = epoch + 1 == config_.rounds;
+      const auto eval = evaluate_global(
+          model, final_round ? &final_per_client_accuracy_ : nullptr);
+      last_accuracy = eval.accuracy;
+      last_loss = eval.loss;
+      HACCS_DEBUG << selector.name() << " epoch " << epoch << " t="
+                  << clock.now() << "s acc=" << eval.accuracy;
+    }
+    record.global_accuracy = last_accuracy;
+    record.global_loss = last_loss;
+    history.add(std::move(record));
+  }
+  final_parameters_ = std::move(global_params);
+  return history;
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,131 @@
+// The federated training round engine.
+//
+// Orchestrates one full simulated FL run (paper §II-A system model):
+//   per epoch: dropout mask -> selector picks k clients -> each selected
+//   client trains locally from the global parameters -> weighted FedAvg
+//   aggregation -> the simulated clock advances by the straggler's latency
+//   -> periodic global evaluation over every client's local test set.
+//
+// Everything stochastic is derived from EngineConfig::seed, so two runs with
+// different selectors but the same seed see identical device profiles,
+// dropout masks, and data — isolating the selection strategy as the only
+// difference, exactly as the paper's methodology requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/data/partition.hpp"
+#include "src/fl/client.hpp"
+#include "src/fl/compression.hpp"
+#include "src/fl/fedprox.hpp"
+#include "src/fl/history.hpp"
+#include "src/fl/selector.hpp"
+#include "src/sim/dropout.hpp"
+#include "src/sim/latency.hpp"
+#include "src/sim/profile.hpp"
+
+namespace haccs::fl {
+
+/// How selected clients compute their local update.
+enum class LocalAlgorithm {
+  FedAvg,   ///< plain local SGD (the paper's training path)
+  FedProx,  ///< proximal objective + latency-scaled partial work (§VI)
+};
+
+struct EngineConfig {
+  std::size_t rounds = 200;
+  std::size_t clients_per_round = 10;
+  LocalTrainConfig local;
+  LocalAlgorithm algorithm = LocalAlgorithm::FedAvg;
+  /// Uplink update compression (None = ship dense float32 updates). The
+  /// latency model prices the compressed uplink, so compression directly
+  /// shortens slow clients' rounds.
+  CompressionConfig compression;
+  /// FedProx proximal coefficient (used when algorithm == FedProx).
+  double fedprox_mu = 0.01;
+  /// Minimum work fraction a straggler performs under FedProx.
+  double fedprox_min_work = 0.3;
+  sim::LatencyModelConfig latency;
+  /// Evaluate the global model every `eval_every` rounds (and on the final
+  /// round). Evaluation reads every client's local test set.
+  std::size_t eval_every = 5;
+  /// Loss value assumed for clients never yet trained (ln(10) ~ the initial
+  /// cross-entropy of a 10-class model).
+  double initial_loss = 2.302585;
+  /// Log-normal per-round latency jitter: each client's latency this round
+  /// is base * exp(sigma * z) with z ~ N(0,1) drawn per (client, epoch).
+  /// Real testbeds (the paper's included) see exactly this fluctuation from
+  /// network and load variation; it is what rotates the "fastest device in
+  /// the cluster" over time (§IV-E). 0 disables.
+  double latency_jitter_sigma = 0.2;
+  std::uint64_t seed = 1;
+  /// Invoked at the start of every epoch, before selection. Used by drift
+  /// experiments to mutate client data mid-training (§IV-C's changing
+  /// distributions) — the engine reads datasets afresh each round.
+  std::function<void(std::size_t epoch)> on_epoch_begin;
+};
+
+class FederatedTrainer {
+ public:
+  /// `model_factory` must return an identically-initialized model on every
+  /// call (capture a fixed seed inside). The trainer samples one device
+  /// profile per client from `config.seed`.
+  FederatedTrainer(const data::FederatedDataset& dataset,
+                   std::function<nn::Sequential()> model_factory,
+                   EngineConfig config);
+
+  /// Runs a full training simulation with the given strategy and
+  /// availability schedule. Each call starts from a fresh model and clock.
+  TrainingHistory run(ClientSelector& selector,
+                      const sim::DropoutSchedule& dropout);
+
+  /// Convenience overload with no dropout.
+  TrainingHistory run(ClientSelector& selector);
+
+  const std::vector<sim::DeviceProfile>& profiles() const { return profiles_; }
+  const sim::LatencyModel& latency_model() const { return latency_model_; }
+
+  /// Base (expected) round latency of client i (profile + local data size).
+  double client_latency(std::size_t i) const;
+
+  /// Latency of client i in a specific epoch, including the seeded
+  /// log-normal jitter. Pure function of (config.seed, epoch, i).
+  double client_latency_at(std::size_t i, std::size_t epoch) const;
+
+  /// Per-client test accuracy of the most recent run's final model.
+  const std::vector<double>& final_per_client_accuracy() const {
+    return final_per_client_accuracy_;
+  }
+
+  /// Flat global parameters after the most recent run (empty before any
+  /// run). Pair with the same model factory to reconstruct the model, or
+  /// write with nn::save_parameters via a factory-built model.
+  const std::vector<float>& final_parameters() const {
+    return final_parameters_;
+  }
+
+  /// The runtime view handed to selectors (all-available mask) — exposed so
+  /// selection strategies can be initialized/tested without a full run.
+  std::vector<ClientRuntimeInfo> make_client_view() const;
+
+ private:
+  struct GlobalEval {
+    double accuracy = 0.0;
+    double loss = 0.0;
+  };
+  GlobalEval evaluate_global(nn::Sequential& model,
+                             std::vector<double>* per_client = nullptr) const;
+
+  const data::FederatedDataset& dataset_;
+  std::function<nn::Sequential()> model_factory_;
+  EngineConfig config_;
+  sim::LatencyModel latency_model_;
+  std::vector<sim::DeviceProfile> profiles_;
+  std::vector<double> final_per_client_accuracy_;
+  std::vector<float> final_parameters_;
+  std::size_t upload_bytes_ = 0;
+};
+
+}  // namespace haccs::fl

@@ -1,0 +1,138 @@
+#include "src/fl/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/loss.hpp"
+
+namespace haccs::fl {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0) {
+  if (classes == 0) throw std::invalid_argument("ConfusionMatrix: 0 classes");
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  if (truth < 0 || predicted < 0 ||
+      static_cast<std::size_t>(truth) >= classes_ ||
+      static_cast<std::size_t>(predicted) >= classes_) {
+    throw std::invalid_argument("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(truth) * classes_ +
+            static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::at(std::size_t truth, std::size_t predicted) const {
+  if (truth >= classes_ || predicted >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::at");
+  }
+  return counts_[truth * classes_ + predicted];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts_) t += c;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t t = total();
+  if (t == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(t);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < classes_; ++p) row_total += at(c, p);
+    if (row_total > 0) {
+      out[c] = static_cast<double>(at(c, c)) / static_cast<double>(row_total);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::per_class_precision() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t p = 0; p < classes_; ++p) {
+    std::size_t col_total = 0;
+    for (std::size_t c = 0; c < classes_; ++c) col_total += at(c, p);
+    if (col_total > 0) {
+      out[p] = static_cast<double>(at(p, p)) / static_cast<double>(col_total);
+    }
+  }
+  return out;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.classes_ != classes_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: class mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+ConfusionMatrix confusion_matrix(nn::Sequential& model,
+                                 const data::Dataset& dataset,
+                                 std::size_t batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("confusion_matrix: zero batch size");
+  }
+  ConfusionMatrix matrix(dataset.num_classes());
+  if (dataset.empty()) return matrix;
+  model.set_training(false);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+    const std::size_t end = std::min(indices.size(), start + batch_size);
+    const std::span<const std::size_t> batch(indices.data() + start,
+                                             end - start);
+    const Tensor logits = model.forward(dataset.batch_features(batch));
+    const auto labels = dataset.batch_labels(batch);
+    const std::size_t c = logits.extent(1);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const float* row = logits.raw() + i * c;
+      const auto pred = static_cast<std::int64_t>(
+          std::max_element(row, row + c) - row);
+      matrix.add(labels[i], pred);
+    }
+  }
+  model.set_training(true);
+  return matrix;
+}
+
+double participation_gini(std::span<const std::size_t> selection_counts) {
+  if (selection_counts.empty()) {
+    throw std::invalid_argument("participation_gini: empty input");
+  }
+  std::vector<double> sorted(selection_counts.begin(), selection_counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double total = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    weighted += (static_cast<double>(i) + 1.0) * sorted[i];
+  }
+  if (total <= 0.0) return 0.0;  // nobody ever selected: call it even
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double accuracy_spread(std::span<const double> per_client_accuracy) {
+  if (per_client_accuracy.empty()) {
+    throw std::invalid_argument("accuracy_spread: empty input");
+  }
+  double mean = 0.0;
+  for (double a : per_client_accuracy) mean += a;
+  mean /= static_cast<double>(per_client_accuracy.size());
+  double var = 0.0;
+  for (double a : per_client_accuracy) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(per_client_accuracy.size());
+  return std::sqrt(var);
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,56 @@
+// Richer evaluation: confusion matrices and per-class accuracy.
+//
+// The paper's Fig. 1 reading ("the accuracy drop ... depends on whether the
+// group's class labels are present in participating groups") is a per-class
+// statement; these helpers make it measurable directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/model.hpp"
+
+namespace haccs::fl {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void add(std::int64_t truth, std::int64_t predicted);
+
+  std::size_t classes() const { return classes_; }
+  /// counts[truth][predicted].
+  std::size_t at(std::size_t truth, std::size_t predicted) const;
+  std::size_t total() const;
+
+  /// Overall fraction correct (0 when empty).
+  double accuracy() const;
+  /// Recall per class: correct_c / total_c (0 for classes never seen).
+  std::vector<double> per_class_recall() const;
+  /// Precision per class: correct_c / predicted_c (0 if never predicted).
+  std::vector<double> per_class_precision() const;
+
+  /// Merges another matrix (same class count) into this one.
+  void merge(const ConfusionMatrix& other);
+
+ private:
+  std::size_t classes_;
+  std::vector<std::size_t> counts_;  // classes x classes
+};
+
+/// Evaluates `model` on `dataset` and returns the confusion matrix.
+ConfusionMatrix confusion_matrix(nn::Sequential& model,
+                                 const data::Dataset& dataset,
+                                 std::size_t batch_size = 128);
+
+/// Gini coefficient of per-client participation counts in [0, 1]:
+/// 0 = perfectly even participation, ->1 = all work on one device. The
+/// scheduling-bias audit metric behind the paper's Table III discussion.
+double participation_gini(std::span<const std::size_t> selection_counts);
+
+/// Population standard deviation of per-client accuracies — the fairness
+/// spread behind Fig. 11's fastest-vs-slowest gaps.
+double accuracy_spread(std::span<const double> per_client_accuracy);
+
+}  // namespace haccs::fl

@@ -1,0 +1,42 @@
+// FedProx local training (Li et al., MLSys'20) — the system-heterogeneity
+// mitigation the paper discusses in §VI.
+//
+// Two deviations from plain FedAvg local SGD:
+//   * a proximal term (mu/2) * ||w - w_global||^2 added to every local
+//     objective, pulling client updates toward the global model so that
+//     heterogeneous amounts of local work stay aggregatable;
+//   * variable local work: a straggler may run fewer local epochs ("partial
+//     work") instead of being dropped, and its partial update is still
+//     aggregated.
+//
+// HACCS composes with FedProx: selection decides WHO trains; FedProx decides
+// HOW MUCH and with what objective. The ablation bench compares FedAvg and
+// FedProx under both schedulers.
+#pragma once
+
+#include "src/fl/client.hpp"
+
+namespace haccs::fl {
+
+struct FedProxConfig {
+  LocalTrainConfig local;
+  /// Proximal coefficient mu (0 recovers plain local SGD).
+  double mu = 0.01;
+  /// Work scale in (0, 1]: fraction of the configured local epochs this
+  /// client actually performs (at least one minibatch always runs).
+  double work_fraction = 1.0;
+};
+
+/// Trains `model` in place starting from `global_params` (which must match
+/// the model's parameter count) with the FedProx proximal objective.
+LocalTrainResult train_local_fedprox(nn::Sequential& model,
+                                     std::span<const float> global_params,
+                                     const data::Dataset& dataset,
+                                     const FedProxConfig& config, Rng& rng);
+
+/// Work fraction for a device: fast devices do full work; slower categories
+/// progressively less, mirroring FedProx's tolerance of partial updates.
+/// latency_ratio = client latency / fastest client latency (>= 1).
+double fedprox_work_fraction(double latency_ratio, double min_fraction = 0.3);
+
+}  // namespace haccs::fl

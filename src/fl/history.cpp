@@ -1,0 +1,65 @@
+#include "src/fl/history.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace haccs::fl {
+
+void TrainingHistory::add(RoundRecord record) {
+  if (!records_.empty()) {
+    HACCS_CHECK_MSG(record.sim_time_s >= records_.back().sim_time_s,
+                    "history: simulated time must be monotone");
+  }
+  records_.push_back(std::move(record));
+}
+
+double TrainingHistory::time_to_accuracy(double target) const {
+  for (const auto& r : records_) {
+    if (r.global_accuracy >= target) return r.sim_time_s;
+  }
+  return kNeverReached;
+}
+
+std::size_t TrainingHistory::epochs_to_accuracy(double target) const {
+  for (const auto& r : records_) {
+    if (r.global_accuracy >= target) return r.epoch;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+double TrainingHistory::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : records_) best = std::max(best, r.global_accuracy);
+  return best;
+}
+
+double TrainingHistory::final_accuracy() const {
+  return records_.empty() ? 0.0 : records_.back().global_accuracy;
+}
+
+double TrainingHistory::total_time() const {
+  return records_.empty() ? 0.0 : records_.back().sim_time_s;
+}
+
+std::vector<std::size_t> TrainingHistory::selection_counts(
+    std::size_t num_clients) const {
+  std::vector<std::size_t> counts(num_clients, 0);
+  for (const auto& r : records_) {
+    for (std::size_t id : r.selected) {
+      if (id < num_clients) ++counts[id];
+    }
+  }
+  return counts;
+}
+
+std::string format_tta(double tta_seconds) {
+  if (tta_seconds == kNeverReached) return "never";
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << tta_seconds;
+  return os.str();
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,60 @@
+// Training history and the time-to-accuracy (TTA) metric.
+//
+// Every evaluation point records the simulated clock, the round index, and
+// global accuracy/loss (the average over all clients' local test sets, per
+// the paper's problem statement: convergence "with respect to all devices in
+// the system"). TTA is the paper's headline metric (§V): the first simulated
+// time at which global accuracy reaches a target.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace haccs::fl {
+
+struct RoundRecord {
+  std::size_t epoch = 0;
+  double sim_time_s = 0.0;       ///< simulated clock after this round
+  double round_duration_s = 0.0; ///< straggler latency of this round
+  double global_accuracy = 0.0;  ///< mean accuracy over all client test sets
+  double global_loss = 0.0;
+  std::vector<std::size_t> selected;  ///< clients trained this round
+};
+
+class TrainingHistory {
+ public:
+  void add(RoundRecord record);
+
+  const std::vector<RoundRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+  /// First simulated time at which accuracy >= target; +inf if never.
+  double time_to_accuracy(double target) const;
+
+  /// First epoch at which accuracy >= target; SIZE_MAX if never.
+  std::size_t epochs_to_accuracy(double target) const;
+
+  /// Highest accuracy observed.
+  double best_accuracy() const;
+
+  /// Final (last-recorded) accuracy.
+  double final_accuracy() const;
+
+  /// Total simulated training time.
+  double total_time() const;
+
+  /// How many times each client id in [0, num_clients) was selected.
+  std::vector<std::size_t> selection_counts(std::size_t num_clients) const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+inline constexpr double kNeverReached = std::numeric_limits<double>::infinity();
+
+/// Formats a TTA value for tables ("inf" when the target was never reached).
+std::string format_tta(double tta_seconds);
+
+}  // namespace haccs::fl

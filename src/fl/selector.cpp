@@ -1,0 +1,21 @@
+#include "src/fl/selector.hpp"
+
+namespace haccs::fl {
+
+void ClientSelector::initialize(const std::vector<ClientRuntimeInfo>&) {}
+
+void ClientSelector::report_result(std::size_t, double, std::size_t) {}
+
+void ClientSelector::report_update(std::size_t, std::span<const float>,
+                                   std::size_t) {}
+
+std::vector<std::size_t> available_ids(
+    const std::vector<ClientRuntimeInfo>& clients) {
+  std::vector<std::size_t> ids;
+  for (const auto& c : clients) {
+    if (c.available) ids.push_back(c.id);
+  }
+  return ids;
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,60 @@
+// Client-selection strategy interface.
+//
+// The round engine presents each strategy with the same runtime view — one
+// ClientRuntimeInfo per client, carrying the expected round latency (system
+// heterogeneity), the last observed training loss (statistical signal), the
+// local sample count, and this epoch's availability mask. Strategies return
+// the ids of the clients to train this epoch. Concrete strategies (Random,
+// TiFL, Oort, HACCS) live in src/select.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace haccs::fl {
+
+struct ClientRuntimeInfo {
+  std::size_t id = 0;
+  double latency_s = 0.0;      ///< expected full-round latency (LatencyModel)
+  std::size_t num_samples = 0;
+  double last_loss = 0.0;      ///< most recent training loss (engine-maintained)
+  bool available = true;       ///< this epoch's dropout mask entry
+};
+
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+
+  /// Called once before training with the full (all-available) client view.
+  virtual void initialize(const std::vector<ClientRuntimeInfo>& clients);
+
+  /// Picks up to `k` distinct available client ids for this epoch. Fewer
+  /// may be returned when fewer are available. `rng` is the engine's
+  /// selection stream — strategies must draw all randomness from it.
+  virtual std::vector<std::size_t> select(
+      std::size_t k, const std::vector<ClientRuntimeInfo>& clients,
+      std::size_t epoch, Rng& rng) = 0;
+
+  /// Reports a participant's training loss after the round (strategies that
+  /// track utility — Oort, TiFL, HACCS — update their state here).
+  virtual void report_result(std::size_t client_id, double loss,
+                             std::size_t epoch);
+
+  /// Reports a participant's parameter update (local - global) after the
+  /// round. Only gradient-direction strategies (paper §IV-A's alternative
+  /// summary) consume this; the default discards it.
+  virtual void report_update(std::size_t client_id,
+                             std::span<const float> update, std::size_t epoch);
+
+  virtual std::string name() const = 0;
+};
+
+/// Filters the runtime view down to available client ids.
+std::vector<std::size_t> available_ids(
+    const std::vector<ClientRuntimeInfo>& clients);
+
+}  // namespace haccs::fl

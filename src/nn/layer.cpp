@@ -1,0 +1,207 @@
+#include "src/nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+
+namespace haccs::nn {
+
+void Layer::zero_grad() {
+  for (Tensor* g : gradients()) g->fill(0.0f);
+}
+
+namespace {
+/// He-uniform initialization: U(-limit, limit) with limit = sqrt(6 / fan_in).
+void he_uniform(Tensor& t, std::size_t fan_in, Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (float& v : t.data()) {
+    v = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument("Dense: zero feature count");
+  }
+  he_uniform(weight_, in_, rng);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.extent(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected (N, " +
+                                std::to_string(in_) + "), got " +
+                                input.shape_string());
+  }
+  last_input_ = input;
+  const std::size_t n = input.extent(0);
+  Tensor out({n, out_});
+  ops::gemm_bt(input, weight_, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_[j];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t n = last_input_.extent(0);
+  if (grad_output.rank() != 2 || grad_output.extent(0) != n ||
+      grad_output.extent(1) != out_) {
+    throw std::invalid_argument("Dense::backward: grad shape mismatch");
+  }
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W.
+  ops::gemm_at(grad_output, last_input_, grad_weight_, /*accumulate=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      grad_bias_[j] += grad_output.at(i, j);
+    }
+  }
+  Tensor grad_input({n, in_});
+  ops::gemm(grad_output, weight_, grad_input);
+  return grad_input;
+}
+
+// --------------------------------------------------------------- Conv2d ----
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel, kernel}),
+      grad_bias_({out_channels}) {
+  he_uniform(weight_, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.extent(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: bad input " +
+                                input.shape_string());
+  }
+  last_input_ = input;
+  last_shape_ = ops::Conv2dShape{input.extent(0), in_channels_,
+                                 input.extent(2), input.extent(3),
+                                 out_channels_, kernel_, stride_, padding_};
+  Tensor out({last_shape_.batch, out_channels_, last_shape_.out_h(),
+              last_shape_.out_w()});
+  ops::conv2d_forward(last_shape_, input, weight_, bias_, out);
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  ops::conv2d_backward_params(last_shape_, last_input_, grad_output,
+                              grad_weight_, grad_bias_);
+  Tensor grad_input({last_shape_.batch, in_channels_, last_shape_.in_h,
+                     last_shape_.in_w});
+  ops::conv2d_backward_input(last_shape_, grad_output, weight_, grad_input);
+  return grad_input;
+}
+
+// ------------------------------------------------------------ MaxPool2d ----
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MaxPool2d: zero window");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2d::forward: expected NCHW");
+  }
+  last_shape_ = ops::Pool2dShape{input.extent(0), input.extent(1),
+                                 input.extent(2), input.extent(3), window_};
+  Tensor out({last_shape_.batch, last_shape_.channels, last_shape_.out_h(),
+              last_shape_.out_w()});
+  ops::maxpool_forward(last_shape_, input, out, argmax_);
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input({last_shape_.batch, last_shape_.channels, last_shape_.in_h,
+                     last_shape_.in_w});
+  ops::maxpool_backward(last_shape_, grad_output, argmax_, grad_input);
+  return grad_input;
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input) {
+  last_input_ = input;
+  Tensor out = input;
+  for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  HACCS_CHECK_MSG(grad_output.same_shape(last_input_), "ReLU grad shape");
+  Tensor grad_input = grad_output;
+  auto in = last_input_.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    if (in[i] <= 0.0f) gi[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& input) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2");
+  }
+  last_shape_ = input.shape();
+  const std::size_t n = input.extent(0);
+  return input.reshaped({n, input.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(last_shape_);
+}
+
+// -------------------------------------------------------------- Dropout ----
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0) {
+    mask_.clear();
+    return input;
+  }
+  Tensor out = input;
+  mask_.resize(input.size());
+  const float scale = static_cast<float>(1.0 / (1.0 - rate_));
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    mask_[i] = rng_.bernoulli(rate_) ? 0.0f : scale;
+    o[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // eval mode or rate 0
+  HACCS_CHECK_MSG(grad_output.size() == mask_.size(), "Dropout grad shape");
+  Tensor grad_input = grad_output;
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= mask_[i];
+  return grad_input;
+}
+
+}  // namespace haccs::nn

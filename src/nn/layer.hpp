@@ -1,0 +1,137 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// Each layer owns its parameters and gradient accumulators. The backward
+// contract: backward(grad_output) is called after forward(input) on the same
+// batch, accumulates parameter gradients (so multiple micro-batches can be
+// accumulated before an optimizer step), and returns the gradient w.r.t. the
+// layer's input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace haccs::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameter / gradient tensors (paired by index); empty for stateless
+  /// layers. Non-owning pointers — the layer retains ownership.
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  virtual void zero_grad();
+
+  /// Dropout behaves differently in training vs. evaluation.
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+/// Fully-connected layer: y = x W^T + b, x: (N, in), W: (out, in), b: (out).
+class Dense : public Layer {
+ public:
+  /// He-uniform initialization scaled for the fan-in, seeded from `rng`.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor weight_, bias_, grad_weight_, grad_bias_;
+  Tensor last_input_;
+};
+
+/// 2-D convolution over NCHW tensors with square kernels.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  Tensor weight_, bias_, grad_weight_, grad_bias_;
+  Tensor last_input_;
+  ops::Conv2dShape last_shape_{};
+};
+
+/// Non-overlapping max pooling over NCHW tensors.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  ops::Pool2dShape last_shape_{};
+  std::vector<std::size_t> argmax_;
+};
+
+/// Elementwise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor last_input_;
+};
+
+/// Collapses (N, C, H, W) -> (N, C*H*W); backward restores the shape.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> last_shape_;
+};
+
+/// Inverted dropout: active only in training mode. Seeded per-layer so the
+/// mask stream is deterministic given the construction seed.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  std::vector<float> mask_;
+};
+
+}  // namespace haccs::nn

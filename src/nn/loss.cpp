@@ -1,0 +1,69 @@
+#include "src/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace haccs::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected (N, classes)");
+  }
+  const std::size_t n = logits.extent(0), c = logits.extent(1);
+  Tensor probs({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.raw() + i * c;
+    float* out = probs.raw() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double total = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - m);
+      total += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::size_t j = 0; j < c; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int64_t> labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected (N, classes)");
+  }
+  const std::size_t n = logits.extent(0), c = logits.extent(1);
+  if (labels.size() != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult result;
+  result.grad_logits = Tensor({n, c});
+  double loss_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float* row = logits.raw() + i * c;
+    float* grad = result.grad_logits.raw() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double total = 0.0;
+    for (std::size_t j = 0; j < c; ++j) total += std::exp(row[j] - m);
+    const double log_total = std::log(total);
+    loss_total += -(row[label] - m - log_total);
+
+    const std::size_t argmax =
+        static_cast<std::size_t>(std::max_element(row, row + c) - row);
+    if (argmax == static_cast<std::size_t>(label)) ++result.correct;
+
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t j = 0; j < c; ++j) {
+      const float p = static_cast<float>(std::exp(row[j] - m) / total);
+      grad[j] = (p - (j == static_cast<std::size_t>(label) ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  result.loss = loss_total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace haccs::nn

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss with fused gradient.
+//
+// Computing softmax and cross-entropy together is both faster and numerically
+// safer (log-sum-exp with max subtraction) than separate layers, and the
+// combined gradient is simply (softmax - onehot) / N.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/tensor/tensor.hpp"
+
+namespace haccs::nn {
+
+struct LossResult {
+  double loss = 0.0;        ///< mean cross-entropy over the batch
+  Tensor grad_logits;       ///< d(loss)/d(logits), shape (N, classes)
+  std::size_t correct = 0;  ///< argmax matches label
+};
+
+/// logits: (N, classes); labels[i] in [0, classes). Throws on shape or label
+/// range violations.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int64_t> labels);
+
+/// Softmax probabilities per row (for inspection / calibration tests).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace haccs::nn

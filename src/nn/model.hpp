@@ -1,0 +1,69 @@
+// Sequential model container, flat parameter (de)serialization for federated
+// averaging, and factories for the paper's model architectures.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace haccs::nn {
+
+/// A stack of layers applied in order. Owns its layers.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Non-copyable (layers hold training caches); movable.
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& input);
+  /// Backpropagates through all layers, accumulating parameter gradients.
+  /// Returns the gradient with respect to the model input.
+  Tensor backward(const Tensor& grad_output);
+
+  void zero_grad();
+  void set_training(bool training);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Total number of scalar parameters.
+  std::size_t parameter_count() const;
+
+  /// Copies all parameters into one flat vector (layer order, tensor order).
+  std::vector<float> get_parameters() const;
+
+  /// Restores parameters from a flat vector; size must match exactly.
+  void set_parameters(std::span<const float> flat);
+
+  /// Copies all accumulated gradients into one flat vector.
+  std::vector<float> get_gradients() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Multi-layer perceptron: input_dim -> hidden... -> classes, ReLU between.
+Sequential make_mlp(std::size_t input_dim,
+                    const std::vector<std::size_t>& hidden,
+                    std::size_t classes, Rng& rng);
+
+/// LeNet-style CNN per the paper's evaluation (§V-A): two 5x5 conv + pool
+/// stages followed by two dense layers. Works for any (channels, h, w) whose
+/// spatial extent survives two 2x2 pools after 5x5 convs with padding 2.
+Sequential make_lenet(std::size_t channels, std::size_t h, std::size_t w,
+                      std::size_t classes, Rng& rng);
+
+/// A small CNN (one conv/pool stage) for fast experiment sweeps on one core.
+Sequential make_cnn_mini(std::size_t channels, std::size_t h, std::size_t w,
+                         std::size_t classes, Rng& rng);
+
+}  // namespace haccs::nn

@@ -1,0 +1,61 @@
+#include "src/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace haccs::nn {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'C', 'C', 'S'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_parameters(const Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  const auto params = model.get_parameters();
+  const auto count = static_cast<std::uint64_t>(params.size());
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+std::vector<float> load_parameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: not a HACCS checkpoint: " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version " +
+                             std::to_string(version));
+  }
+  // Sanity bound: reject absurd counts before allocating.
+  if (count > (1ULL << 32)) {
+    throw std::runtime_error("load_parameters: implausible parameter count");
+  }
+  std::vector<float> params(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(params.size() * sizeof(float))) {
+    throw std::runtime_error("load_parameters: truncated file: " + path);
+  }
+  return params;
+}
+
+void load_into(Sequential& model, const std::string& path) {
+  model.set_parameters(load_parameters(path));
+}
+
+}  // namespace haccs::nn

@@ -1,0 +1,29 @@
+// Model checkpointing: binary save/load of flat parameter vectors.
+//
+// Format (little-endian): magic "HCCS", u32 version, u64 count, then
+// `count` IEEE-754 float32 values. The architecture itself is code (model
+// factories are deterministic in their seed), so checkpoints store only the
+// parameters — the caller pairs a checkpoint with the factory that produced
+// the model, and mismatched sizes fail loudly at load/set time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/model.hpp"
+
+namespace haccs::nn {
+
+/// Writes the model's parameters to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_parameters(const Sequential& model, const std::string& path);
+
+/// Reads a parameter vector written by save_parameters. Throws
+/// std::runtime_error on I/O failure or a malformed file.
+std::vector<float> load_parameters(const std::string& path);
+
+/// Convenience: load + set in one step (size-checked by set_parameters).
+void load_into(Sequential& model, const std::string& path);
+
+}  // namespace haccs::nn

@@ -1,0 +1,20 @@
+#include "src/select/random_selector.hpp"
+
+#include <algorithm>
+
+namespace haccs::select {
+
+std::vector<std::size_t> RandomSelector::select(
+    std::size_t k, const std::vector<fl::ClientRuntimeInfo>& clients,
+    std::size_t /*epoch*/, Rng& rng) {
+  auto ids = fl::available_ids(clients);
+  if (ids.size() <= k) return ids;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t pick : rng.sample_without_replacement(ids.size(), k)) {
+    out.push_back(ids[pick]);
+  }
+  return out;
+}
+
+}  // namespace haccs::select

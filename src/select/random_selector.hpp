@@ -1,0 +1,17 @@
+// Random selection baseline: k clients uniformly at random from the
+// available set each epoch (the paper's "Random Selection" baseline).
+#pragma once
+
+#include "src/fl/selector.hpp"
+
+namespace haccs::select {
+
+class RandomSelector final : public fl::ClientSelector {
+ public:
+  std::vector<std::size_t> select(std::size_t k,
+                                  const std::vector<fl::ClientRuntimeInfo>& clients,
+                                  std::size_t epoch, Rng& rng) override;
+  std::string name() const override { return "Random"; }
+};
+
+}  // namespace haccs::select

@@ -1,0 +1,120 @@
+#include "src/select/tifl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace haccs::select {
+
+TiflSelector::TiflSelector(TiflConfig config) : config_(config) {
+  if (config_.num_tiers == 0) {
+    throw std::invalid_argument("TiflSelector: num_tiers must be > 0");
+  }
+  if (config_.credit_factor < 1.0) {
+    throw std::invalid_argument("TiflSelector: credit_factor must be >= 1");
+  }
+}
+
+void TiflSelector::initialize(
+    const std::vector<fl::ClientRuntimeInfo>& clients) {
+  const std::size_t n = clients.size();
+  const std::size_t tiers = std::min(config_.num_tiers, n);
+
+  // Profile step: order clients by expected latency, split into equal tiers
+  // (tier 0 = fastest).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return clients[a].latency_s < clients[b].latency_s;
+  });
+
+  tiers_.assign(tiers, Tier{});
+  tier_of_.assign(n, 0);
+  const double fair_share =
+      static_cast<double>(config_.expected_rounds) / static_cast<double>(tiers);
+  for (auto& t : tiers_) t.credits = config_.credit_factor * fair_share;
+
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t tier = std::min(rank * tiers / n, tiers - 1);
+    tiers_[tier].members.push_back(order[rank]);
+    tier_of_[order[rank]] = tier;
+  }
+}
+
+void TiflSelector::report_result(std::size_t client_id, double loss,
+                                 std::size_t /*epoch*/) {
+  if (client_id >= tier_of_.size()) return;
+  auto& tier = tiers_[tier_of_[client_id]];
+  tier.loss_sum += loss;
+  ++tier.loss_count;
+}
+
+std::vector<std::size_t> TiflSelector::select(
+    std::size_t k, const std::vector<fl::ClientRuntimeInfo>& clients,
+    std::size_t /*epoch*/, Rng& rng) {
+  if (tiers_.empty()) initialize(clients);
+
+  // Adaptive tier choice: probability proportional to average tier loss,
+  // restricted to tiers with remaining credits and at least one available
+  // client.
+  std::vector<double> weights(tiers_.size(), 0.0);
+  bool any = false;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t].credits < 1.0) continue;
+    const bool has_available =
+        std::any_of(tiers_[t].members.begin(), tiers_[t].members.end(),
+                    [&](std::size_t id) { return clients[id].available; });
+    if (!has_available) continue;
+    weights[t] = tiers_[t].average_loss(config_.initial_loss);
+    any = true;
+  }
+  if (!any) {
+    // Credits exhausted everywhere: fall back to uniform over available
+    // tiers (keeps training alive past the configured horizon).
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      const bool has_available =
+          std::any_of(tiers_[t].members.begin(), tiers_[t].members.end(),
+                      [&](std::size_t id) { return clients[id].available; });
+      weights[t] = has_available ? 1.0 : 0.0;
+    }
+  }
+
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return {};  // nobody available at all
+  const std::size_t chosen = rng.categorical(weights);
+  tiers_[chosen].credits -= 1.0;
+
+  // Uniform draw of k clients within the tier; if it is short, spill into
+  // the remaining tiers ordered by distance (prefer similar performance).
+  std::vector<std::size_t> pool;
+  for (std::size_t id : tiers_[chosen].members) {
+    if (clients[id].available) pool.push_back(id);
+  }
+  std::vector<std::size_t> out;
+  if (pool.size() <= k) {
+    out = pool;
+    for (std::size_t radius = 1;
+         out.size() < k && radius < tiers_.size(); ++radius) {
+      for (int sign : {-1, +1}) {
+        const std::ptrdiff_t t =
+            static_cast<std::ptrdiff_t>(chosen) + sign * static_cast<std::ptrdiff_t>(radius);
+        if (t < 0 || t >= static_cast<std::ptrdiff_t>(tiers_.size())) continue;
+        for (std::size_t id : tiers_[static_cast<std::size_t>(t)].members) {
+          if (out.size() >= k) break;
+          if (clients[id].available &&
+              std::find(out.begin(), out.end(), id) == out.end()) {
+            out.push_back(id);
+          }
+        }
+      }
+    }
+    return out;
+  }
+  for (std::size_t pick : rng.sample_without_replacement(pool.size(), k)) {
+    out.push_back(pool[pick]);
+  }
+  return out;
+}
+
+}  // namespace haccs::select

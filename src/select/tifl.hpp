@@ -1,0 +1,60 @@
+// TiFL baseline (Chai et al., "TiFL: A Tier-based Federated Learning
+// System", HPDC'20), re-implemented from the published description.
+//
+// Clients are profiled once and grouped into latency tiers. Each epoch one
+// tier is chosen — adaptively, weighted by the tiers' average observed loss
+// so that poorly-performing tiers get more training — subject to per-tier
+// credits that bound how often any single tier can be picked. The k
+// participants are then drawn uniformly from the chosen tier's available
+// clients, falling back to neighboring tiers when the tier is short.
+#pragma once
+
+#include "src/fl/selector.hpp"
+
+namespace haccs::select {
+
+struct TiflConfig {
+  std::size_t num_tiers = 5;
+  /// Per-tier selection budget, as a multiple of the fair share
+  /// (rounds / num_tiers). Must be >= 1 or no schedule is feasible.
+  double credit_factor = 2.0;
+  std::size_t expected_rounds = 200;
+  /// Loss value assumed for tiers before any observation.
+  double initial_loss = 2.302585;
+};
+
+class TiflSelector final : public fl::ClientSelector {
+ public:
+  explicit TiflSelector(TiflConfig config);
+
+  void initialize(const std::vector<fl::ClientRuntimeInfo>& clients) override;
+  std::vector<std::size_t> select(std::size_t k,
+                                  const std::vector<fl::ClientRuntimeInfo>& clients,
+                                  std::size_t epoch, Rng& rng) override;
+  void report_result(std::size_t client_id, double loss,
+                     std::size_t epoch) override;
+  std::string name() const override { return "TiFL"; }
+
+  /// Tier id per client (valid after initialize) — exposed for tests.
+  const std::vector<std::size_t>& tier_of() const { return tier_of_; }
+  std::size_t num_tiers() const { return tiers_.size(); }
+
+ private:
+  struct Tier {
+    std::vector<std::size_t> members;
+    double credits = 0.0;
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+
+    double average_loss(double initial) const {
+      return loss_count > 0 ? loss_sum / static_cast<double>(loss_count)
+                            : initial;
+    }
+  };
+
+  TiflConfig config_;
+  std::vector<Tier> tiers_;
+  std::vector<std::size_t> tier_of_;
+};
+
+}  // namespace haccs::select

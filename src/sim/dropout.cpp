@@ -1,0 +1,159 @@
+#include "src/sim/dropout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace haccs::sim {
+
+namespace {
+
+class AlwaysAvailable final : public DropoutSchedule {
+ public:
+  explicit AlwaysAvailable(std::size_t n) : n_(n) {}
+  std::vector<bool> available(std::size_t) const override {
+    return std::vector<bool>(n_, true);
+  }
+  std::size_t num_clients() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+class PerEpochDropout final : public DropoutSchedule {
+ public:
+  PerEpochDropout(std::size_t n, double fraction, std::uint64_t seed)
+      : n_(n), fraction_(fraction), seed_(seed) {
+    if (fraction < 0.0 || fraction > 1.0) {
+      throw std::invalid_argument("per-epoch dropout: fraction out of [0, 1]");
+    }
+  }
+
+  std::vector<bool> available(std::size_t epoch) const override {
+    // A fresh generator per (seed, epoch) keeps the draw identical no matter
+    // how many times or in what order epochs are queried.
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (epoch + 1)));
+    const auto drop_count =
+        static_cast<std::size_t>(fraction_ * static_cast<double>(n_));
+    std::vector<bool> mask(n_, true);
+    for (std::size_t i : rng.sample_without_replacement(n_, drop_count)) {
+      mask[i] = false;
+    }
+    return mask;
+  }
+
+  std::size_t num_clients() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  double fraction_;
+  std::uint64_t seed_;
+};
+
+class PermanentRandomDropout final : public DropoutSchedule {
+ public:
+  PermanentRandomDropout(std::size_t n, std::size_t count,
+                         std::size_t from_epoch, std::uint64_t seed)
+      : n_(n), from_epoch_(from_epoch), dropped_(n, false) {
+    if (count > n) {
+      throw std::invalid_argument("permanent dropout: count > num_clients");
+    }
+    Rng rng(seed);
+    for (std::size_t i : rng.sample_without_replacement(n, count)) {
+      dropped_[i] = true;
+    }
+  }
+
+  std::vector<bool> available(std::size_t epoch) const override {
+    std::vector<bool> mask(n_, true);
+    if (epoch < from_epoch_) return mask;
+    for (std::size_t i = 0; i < n_; ++i) mask[i] = !dropped_[i];
+    return mask;
+  }
+
+  std::size_t num_clients() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t from_epoch_;
+  std::vector<bool> dropped_;
+};
+
+class StaggeredJoin final : public DropoutSchedule {
+ public:
+  explicit StaggeredJoin(std::vector<std::size_t> join_epoch_of)
+      : join_epoch_of_(std::move(join_epoch_of)) {}
+
+  std::vector<bool> available(std::size_t epoch) const override {
+    std::vector<bool> mask(join_epoch_of_.size());
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask[i] = epoch >= join_epoch_of_[i];
+    }
+    return mask;
+  }
+
+  std::size_t num_clients() const override { return join_epoch_of_.size(); }
+
+ private:
+  std::vector<std::size_t> join_epoch_of_;
+};
+
+class GroupDropout final : public DropoutSchedule {
+ public:
+  GroupDropout(std::vector<int> group_of, std::vector<int> dropped_groups,
+               std::size_t from_epoch)
+      : group_of_(std::move(group_of)),
+        dropped_groups_(std::move(dropped_groups)),
+        from_epoch_(from_epoch) {}
+
+  std::vector<bool> available(std::size_t epoch) const override {
+    std::vector<bool> mask(group_of_.size(), true);
+    if (epoch < from_epoch_) return mask;
+    for (std::size_t i = 0; i < group_of_.size(); ++i) {
+      if (std::find(dropped_groups_.begin(), dropped_groups_.end(),
+                    group_of_[i]) != dropped_groups_.end()) {
+        mask[i] = false;
+      }
+    }
+    return mask;
+  }
+
+  std::size_t num_clients() const override { return group_of_.size(); }
+
+ private:
+  std::vector<int> group_of_;
+  std::vector<int> dropped_groups_;
+  std::size_t from_epoch_;
+};
+
+}  // namespace
+
+std::unique_ptr<DropoutSchedule> make_always_available(std::size_t num_clients) {
+  return std::make_unique<AlwaysAvailable>(num_clients);
+}
+
+std::unique_ptr<DropoutSchedule> make_per_epoch_dropout(std::size_t num_clients,
+                                                        double fraction,
+                                                        std::uint64_t seed) {
+  return std::make_unique<PerEpochDropout>(num_clients, fraction, seed);
+}
+
+std::unique_ptr<DropoutSchedule> make_permanent_random_dropout(
+    std::size_t num_clients, std::size_t count, std::size_t from_epoch,
+    std::uint64_t seed) {
+  return std::make_unique<PermanentRandomDropout>(num_clients, count,
+                                                  from_epoch, seed);
+}
+
+std::unique_ptr<DropoutSchedule> make_staggered_join(
+    std::vector<std::size_t> join_epoch_of) {
+  return std::make_unique<StaggeredJoin>(std::move(join_epoch_of));
+}
+
+std::unique_ptr<DropoutSchedule> make_group_dropout(
+    std::vector<int> group_of, std::vector<int> dropped_groups,
+    std::size_t from_epoch) {
+  return std::make_unique<GroupDropout>(std::move(group_of),
+                                        std::move(dropped_groups), from_epoch);
+}
+
+}  // namespace haccs::sim

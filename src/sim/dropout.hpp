@@ -1,0 +1,54 @@
+// Device-availability schedules (paper §III and §V-C).
+//
+// A schedule answers "which clients are reachable this epoch". Availability
+// is a pure function of (seed, epoch) so that, exactly as the paper does,
+// "the same set of devices are dropped in each epoch across all the client
+// selection strategies" — strategies are compared under identical volatility.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace haccs::sim {
+
+class DropoutSchedule {
+ public:
+  virtual ~DropoutSchedule() = default;
+
+  /// Availability mask for the given epoch; size == num_clients.
+  virtual std::vector<bool> available(std::size_t epoch) const = 0;
+
+  virtual std::size_t num_clients() const = 0;
+};
+
+/// All clients always available.
+std::unique_ptr<DropoutSchedule> make_always_available(std::size_t num_clients);
+
+/// Paper §V-C: a random `fraction` of clients is unavailable each epoch and
+/// recovers at the end of the epoch (an independent draw per epoch).
+std::unique_ptr<DropoutSchedule> make_per_epoch_dropout(std::size_t num_clients,
+                                                        double fraction,
+                                                        std::uint64_t seed);
+
+/// Paper Fig. 1a: `count` randomly pre-selected clients are permanently
+/// dropped from epoch `from_epoch` onward.
+std::unique_ptr<DropoutSchedule> make_permanent_random_dropout(
+    std::size_t num_clients, std::size_t count, std::size_t from_epoch,
+    std::uint64_t seed);
+
+/// §IV-C "devices joining the system during model training": client i is
+/// unavailable until its join epoch, then available from that epoch onward.
+std::unique_ptr<DropoutSchedule> make_staggered_join(
+    std::vector<std::size_t> join_epoch_of);
+
+/// Paper Fig. 1b: entire pre-selected groups are permanently dropped.
+/// `group_of[i]` is client i's group; `dropped_groups` lists group ids to
+/// remove from epoch `from_epoch` onward.
+std::unique_ptr<DropoutSchedule> make_group_dropout(
+    std::vector<int> group_of, std::vector<int> dropped_groups,
+    std::size_t from_epoch);
+
+}  // namespace haccs::sim

@@ -1,0 +1,61 @@
+#include "src/sim/latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace haccs::sim {
+
+LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {
+  if (config_.seconds_per_sample <= 0.0) {
+    throw std::invalid_argument("LatencyModel: seconds_per_sample must be > 0");
+  }
+  if (config_.local_epochs == 0) {
+    throw std::invalid_argument("LatencyModel: local_epochs must be > 0");
+  }
+}
+
+double LatencyModel::transfer_time(const DeviceProfile& profile) const {
+  const double bits = static_cast<double>(config_.model_bytes) * 8.0;
+  const double bandwidth_bps = profile.bandwidth_mbps * 1e6;
+  return 2.0 * profile.network_latency_s + 2.0 * bits / bandwidth_bps;
+}
+
+double LatencyModel::compute_time(const DeviceProfile& profile,
+                                  std::size_t num_samples) const {
+  return profile.compute_multiplier * config_.seconds_per_sample *
+         static_cast<double>(num_samples) *
+         static_cast<double>(config_.local_epochs);
+}
+
+double LatencyModel::round_latency(const DeviceProfile& profile,
+                                   std::size_t num_samples) const {
+  return transfer_time(profile) + compute_time(profile, num_samples);
+}
+
+double LatencyModel::round_latency_asymmetric(const DeviceProfile& profile,
+                                              std::size_t num_samples,
+                                              std::size_t download_bytes,
+                                              std::size_t upload_bytes) const {
+  const double bits =
+      static_cast<double>(download_bytes + upload_bytes) * 8.0;
+  const double bandwidth_bps = profile.bandwidth_mbps * 1e6;
+  return 2.0 * profile.network_latency_s + bits / bandwidth_bps +
+         compute_time(profile, num_samples);
+}
+
+double SimClock::advance(double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("SimClock: cannot advance backwards");
+  }
+  now_s_ += seconds;
+  return now_s_;
+}
+
+double SimClock::advance_round(std::span<const double> client_latencies) {
+  double round = 0.0;
+  for (double l : client_latencies) round = std::max(round, l);
+  advance(round);
+  return round;
+}
+
+}  // namespace haccs::sim

@@ -1,0 +1,83 @@
+// Client latency model and the simulated training clock.
+//
+// The paper defines a client's latency as "the expected time required to
+// transfer the model parameters to and from the client, plus the time
+// required to perform a single epoch" (§IV-D). We model one training round
+// for client i as
+//
+//   latency_i = 2 * network_latency_i            (request + response RTT)
+//             + 2 * model_bits / bandwidth_i     (download + upload)
+//             + compute_multiplier_i * base_compute_time(samples_i)
+//
+// and a synchronous FedAvg round takes max over the selected clients — the
+// straggler determines the round (this is what makes client selection matter
+// for time-to-accuracy). The clock is simulated: results are deterministic
+// and independent of the host machine, while preserving the paper's relative
+// orderings (DESIGN.md §4, substitution 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/sim/profile.hpp"
+
+namespace haccs::sim {
+
+struct LatencyModelConfig {
+  /// Serialized model size in bytes (parameters * 4 for float32).
+  std::size_t model_bytes = 250000;
+  /// Baseline seconds of compute per training sample per local epoch on a
+  /// "fast" device.
+  double seconds_per_sample = 0.005;
+  /// Local epochs per round (scales compute time).
+  std::size_t local_epochs = 1;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelConfig config);
+
+  /// Expected end-to-end latency for one round on a device.
+  double round_latency(const DeviceProfile& profile,
+                       std::size_t num_samples) const;
+
+  /// Round latency with distinct download/upload payloads (update
+  /// compression shrinks the uplink only).
+  double round_latency_asymmetric(const DeviceProfile& profile,
+                                  std::size_t num_samples,
+                                  std::size_t download_bytes,
+                                  std::size_t upload_bytes) const;
+
+  /// Transfer-only component (both directions).
+  double transfer_time(const DeviceProfile& profile) const;
+
+  /// Compute-only component.
+  double compute_time(const DeviceProfile& profile,
+                      std::size_t num_samples) const;
+
+  const LatencyModelConfig& config() const { return config_; }
+
+ private:
+  LatencyModelConfig config_;
+};
+
+/// Simulated wall clock: advances by the straggler latency of each round.
+class SimClock {
+ public:
+  double now() const { return now_s_; }
+
+  /// Advances by `seconds` (must be >= 0) and returns the new time.
+  double advance(double seconds);
+
+  /// Advances by the max of the given per-client latencies (a synchronous
+  /// round); returns the round duration. Empty input advances by 0.
+  double advance_round(std::span<const double> client_latencies);
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace haccs::sim

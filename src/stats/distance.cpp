@@ -1,0 +1,123 @@
+#include "src/stats/distance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/histogram.hpp"
+
+namespace haccs::stats {
+
+std::string to_string(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::Hellinger: return "hellinger";
+    case DistanceKind::TotalVariation: return "tv";
+    case DistanceKind::SymmetricKl: return "skl";
+    case DistanceKind::JensenShannon: return "js";
+    case DistanceKind::Cosine: return "cosine";
+  }
+  throw std::invalid_argument("to_string: bad DistanceKind");
+}
+
+DistanceKind parse_distance_kind(const std::string& name) {
+  if (name == "hellinger") return DistanceKind::Hellinger;
+  if (name == "tv" || name == "total-variation") return DistanceKind::TotalVariation;
+  if (name == "skl" || name == "symmetric-kl") return DistanceKind::SymmetricKl;
+  if (name == "js" || name == "jensen-shannon") return DistanceKind::JensenShannon;
+  if (name == "cosine") return DistanceKind::Cosine;
+  throw std::invalid_argument("unknown distance kind: " + name);
+}
+
+namespace {
+
+std::vector<double> normalized(std::span<const double> v) {
+  std::vector<double> out(v.size(), 0.0);
+  double total = 0.0;
+  for (double x : v) total += std::max(x, 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::max(v[i], 0.0) / total;
+  }
+  return out;
+}
+
+bool is_zero(const std::vector<double>& v) {
+  for (double x : v) {
+    if (x != 0.0) return false;
+  }
+  return true;
+}
+
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+  return acc / 2.0;
+}
+
+double kl(const std::vector<double>& p, const std::vector<double>& q) {
+  // Additive smoothing keeps the divergence finite on disjoint supports.
+  constexpr double kEps = 1e-9;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] + kEps;
+    const double qi = q[i] + kEps;
+    acc += pi * std::log(pi / qi);
+  }
+  return std::max(acc, 0.0);
+}
+
+double jensen_shannon(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = (p[i] + q[i]) / 2.0;
+  const double js = (kl(p, m) + kl(q, m)) / 2.0;
+  // Normalize by ln 2 so the square root lands in [0, 1].
+  return std::sqrt(std::min(1.0, js / std::log(2.0)));
+}
+
+double cosine_distance(std::span<const double> p, std::span<const double> q) {
+  double dot = 0.0, np = 0.0, nq = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double a = std::max(p[i], 0.0);
+    const double b = std::max(q[i], 0.0);
+    dot += a * b;
+    np += a * a;
+    nq += b * b;
+  }
+  if (np == 0.0 && nq == 0.0) return 0.0;
+  if (np == 0.0 || nq == 0.0) return 1.0;
+  const double cosine = dot / (std::sqrt(np) * std::sqrt(nq));
+  return 1.0 - std::min(1.0, cosine);
+}
+
+}  // namespace
+
+double distribution_distance(std::span<const double> p,
+                             std::span<const double> q, DistanceKind kind) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("distribution_distance: arity mismatch");
+  }
+  if (kind == DistanceKind::Hellinger) return hellinger_distance(p, q);
+  if (kind == DistanceKind::Cosine) return cosine_distance(p, q);
+
+  const auto pn = normalized(p);
+  const auto qn = normalized(q);
+  const bool pz = is_zero(pn), qz = is_zero(qn);
+  if (pz && qz) return 0.0;
+  if (pz || qz) {
+    // One side empty: the bounded kinds return their maximum; symmetric KL
+    // returns the smoothed divergence to the zero vector.
+    if (kind == DistanceKind::TotalVariation) return 1.0;
+    if (kind == DistanceKind::JensenShannon) return 1.0;
+  }
+  switch (kind) {
+    case DistanceKind::TotalVariation: return total_variation(pn, qn);
+    case DistanceKind::SymmetricKl: return kl(pn, qn) + kl(qn, pn);
+    case DistanceKind::JensenShannon: return jensen_shannon(pn, qn);
+    default: break;
+  }
+  throw std::invalid_argument("distribution_distance: bad kind");
+}
+
+}  // namespace haccs::stats

@@ -1,0 +1,35 @@
+// Alternative distribution distances for the summary-comparison ablation.
+//
+// The paper selects the Hellinger distance (Eq. 3) for its zero-tolerance
+// and boundedness, and names "different kinds of privacy-preserving data
+// summaries" as future work (§V-E). This module provides the standard
+// alternatives so the choice can be ablated: total variation, symmetric
+// (Jeffreys) KL divergence with additive smoothing, Jensen-Shannon distance,
+// and cosine distance. All operate on unnormalized non-negative count
+// vectors and normalize internally, like hellinger_distance.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace haccs::stats {
+
+enum class DistanceKind {
+  Hellinger,       ///< the paper's choice (Eq. 3)
+  TotalVariation,  ///< (1/2) * L1 between distributions; bounded [0, 1]
+  SymmetricKl,     ///< Jeffreys divergence with smoothing; unbounded
+  JensenShannon,   ///< sqrt(JS divergence / ln 2); bounded [0, 1]
+  Cosine,          ///< 1 - cos angle between count vectors; bounded [0, 1]
+};
+
+std::string to_string(DistanceKind kind);
+DistanceKind parse_distance_kind(const std::string& name);
+
+/// Distance between two count vectors under the chosen kind. Inputs are
+/// clamped at zero and normalized (except Cosine, which is scale-invariant
+/// by construction). Two all-zero vectors have distance 0; a zero vector vs
+/// a distribution takes each kind's maximum (1 for the bounded kinds).
+double distribution_distance(std::span<const double> p,
+                             std::span<const double> q, DistanceKind kind);
+
+}  // namespace haccs::stats

@@ -1,0 +1,130 @@
+#include "src/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace haccs::stats {
+
+Histogram::Histogram(std::size_t bins) : counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+}
+
+Histogram::Histogram(std::size_t bins, double lo, double hi)
+    : counts_(bins, 0.0), value_binned_(true), lo_(lo), hi_(hi) {
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+double Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+void Histogram::add_count(std::size_t bin, double weight) {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::add_count: bin out of range");
+  }
+  counts_[bin] += weight;
+}
+
+void Histogram::observe(double value, double weight) {
+  if (!value_binned_) {
+    throw std::logic_error("Histogram::observe requires a value-binned histogram");
+  }
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+}
+
+void Histogram::set_counts(std::vector<double> counts) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::set_counts: arity mismatch");
+  }
+  counts_ = std::move(counts);
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  const double t = total();
+  if (t <= 0.0) return out;  // zero vector by design (see header)
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = std::max(counts_[i], 0.0) / t;
+  }
+  return out;
+}
+
+void Histogram::clamp_nonnegative() {
+  for (double& c : counts_) c = std::max(c, 0.0);
+}
+
+double hellinger_distance(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("hellinger_distance: arity mismatch");
+  }
+  double pt = 0.0, qt = 0.0;
+  for (double v : p) pt += std::max(v, 0.0);
+  for (double v : q) qt += std::max(v, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = pt > 0.0 ? std::max(p[i], 0.0) / pt : 0.0;
+    const double qi = qt > 0.0 ? std::max(q[i], 0.0) / qt : 0.0;
+    const double d = std::sqrt(pi) - std::sqrt(qi);
+    acc += d * d;
+  }
+  return std::sqrt(acc / 2.0);
+}
+
+double hellinger_distance(const Histogram& a, const Histogram& b) {
+  return hellinger_distance(a.counts(), b.counts());
+}
+
+double average_hellinger_distance(std::span<const Histogram> a,
+                                  std::span<const Histogram> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("average_hellinger_distance: arity mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument("average_hellinger_distance: empty sets");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += hellinger_distance(a[i], b[i]);
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double weighted_hellinger_distance(std::span<const Histogram> a,
+                                   std::span<const Histogram> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("weighted_hellinger_distance: arity mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument("weighted_hellinger_distance: empty sets");
+  }
+  double grand_total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    grand_total += std::max(a[i].total(), 0.0) + std::max(b[i].total(), 0.0);
+  }
+  if (grand_total <= 0.0) return 0.0;  // no data on either side
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ta = std::max(a[i].total(), 0.0);
+    const double tb = std::max(b[i].total(), 0.0);
+    const double weight = (ta + tb) / grand_total;
+    if (weight <= 0.0) continue;
+    double d;
+    if (ta > 0.0 && tb > 0.0) {
+      d = hellinger_distance(a[i], b[i]);
+    } else {
+      d = 1.0;  // label present on exactly one side: maximally different
+    }
+    acc += weight * d;
+  }
+  return acc;
+}
+
+}  // namespace haccs::stats

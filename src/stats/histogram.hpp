@@ -1,0 +1,77 @@
+// Histograms and the Hellinger distance (paper Eq. 3).
+//
+// Histograms are the paper's privacy-preserving distribution summary: the
+// P(y) summary is a label-count histogram, the P(X|y) summary is one
+// value-binned feature histogram per label. Hellinger is chosen because it
+// tolerates empty bins and is bounded in [0, 1] (Eq. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace haccs::stats {
+
+class Histogram {
+ public:
+  /// Count histogram over `bins` categories (used for label counts).
+  explicit Histogram(std::size_t bins);
+
+  /// Value-binned histogram over [lo, hi); values outside the range clamp to
+  /// the boundary bins (used for pixel/feature distributions).
+  Histogram(std::size_t bins, double lo, double hi);
+
+  std::size_t bins() const { return counts_.size(); }
+  double total() const;
+
+  /// Adds `weight` to a category bin directly.
+  void add_count(std::size_t bin, double weight = 1.0);
+
+  /// Bins a value (requires the value-binned constructor).
+  void observe(double value, double weight = 1.0);
+
+  std::span<const double> counts() const { return counts_; }
+  void set_counts(std::vector<double> counts);
+
+  /// Probability vector: counts / total. An all-zero histogram normalizes to
+  /// the zero vector (NOT uniform) so that "no data for this label" is
+  /// maximally distinguishable under Hellinger.
+  std::vector<double> normalized() const;
+
+  /// Clamps negative bins (which DP noise can produce) to zero.
+  void clamp_nonnegative();
+
+ private:
+  std::vector<double> counts_;
+  bool value_binned_ = false;
+  double lo_ = 0.0, hi_ = 0.0;
+};
+
+/// Hellinger distance between two probability vectors (paper Eq. 3):
+/// H(p, q) = (1/sqrt(2)) * || sqrt(p) - sqrt(q) ||_2.
+/// Inputs need not be normalized — they are normalized internally (zero
+/// vectors stay zero). Result is in [0, 1] for distributions.
+double hellinger_distance(std::span<const double> p, std::span<const double> q);
+
+/// Hellinger over two histograms' normalized forms.
+double hellinger_distance(const Histogram& a, const Histogram& b);
+
+/// Average Hellinger distance across paired histogram sets (the paper's
+/// distance for the P(X|y) summary). The sets must have equal arity; pairs
+/// where both histograms are empty contribute 0.
+double average_hellinger_distance(std::span<const Histogram> a,
+                                  std::span<const Histogram> b);
+
+/// Mass-weighted average Hellinger across paired histogram sets: each label's
+/// Hellinger distance is weighted by that label's share of the two clients'
+/// total histogram mass, w_c = (total_a(c) + total_b(c)) / (total_a + total_b).
+/// The weights are derived from the transmitted count histograms themselves,
+/// so no information beyond the P(X|y) summary is used. This keeps rarely-
+/// populated noise labels from swamping the comparison of the distributions
+/// that actually hold the data — the unweighted average assigns a label with
+/// 3 samples the same influence as one with 300. Labels absent on exactly
+/// one side contribute their (halved) mass at the maximal distance 1.
+double weighted_hellinger_distance(std::span<const Histogram> a,
+                                   std::span<const Histogram> b);
+
+}  // namespace haccs::stats

@@ -1,0 +1,89 @@
+#include "src/stats/metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace haccs::stats {
+
+PairwiseClusteringScores pairwise_clustering_scores(
+    std::span<const int> predicted, std::span<const int> truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("pairwise_clustering_scores: size mismatch");
+  }
+  const std::size_t n = predicted.size();
+  if (n < 2) {
+    throw std::invalid_argument("pairwise_clustering_scores: need >= 2 points");
+  }
+  double tp = 0, fp = 0, fn = 0, tn = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Noise (negative labels) = singleton: never co-clustered.
+      const bool pred_together =
+          predicted[i] >= 0 && predicted[i] == predicted[j];
+      const bool true_together = truth[i] == truth[j];
+      if (pred_together && true_together) ++tp;
+      else if (pred_together && !true_together) ++fp;
+      else if (!pred_together && true_together) ++fn;
+      else ++tn;
+    }
+  }
+  PairwiseClusteringScores s;
+  s.precision = (tp + fp) > 0 ? tp / (tp + fp) : 1.0;
+  s.recall = (tp + fn) > 0 ? tp / (tp + fn) : 1.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  s.rand_index = (tp + tn) / (tp + tn + fp + fn);
+  return s;
+}
+
+double exact_cluster_recovery(std::span<const int> predicted,
+                              std::span<const int> truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("exact_cluster_recovery: size mismatch");
+  }
+  // Member lists per ground-truth group and per predicted cluster.
+  std::map<int, std::vector<std::size_t>> true_groups;
+  std::map<int, std::vector<std::size_t>> pred_clusters;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    true_groups[truth[i]].push_back(i);
+    if (predicted[i] >= 0) {
+      pred_clusters[predicted[i]].push_back(i);
+    } else {
+      // Each noise point is its own singleton cluster (unique negative key).
+      pred_clusters[-static_cast<int>(i) - 1000000].push_back(i);
+    }
+  }
+  if (true_groups.empty()) {
+    throw std::invalid_argument("exact_cluster_recovery: empty input");
+  }
+  std::size_t recovered = 0;
+  for (const auto& [gid, members] : true_groups) {
+    for (const auto& [cid, cluster] : pred_clusters) {
+      if (cluster == members) {  // both sorted by construction
+        ++recovered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(recovered) /
+         static_cast<double>(true_groups.size());
+}
+
+MeanCi mean_ci95(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("mean_ci95: empty input");
+  }
+  const auto n = static_cast<double>(values.size());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= n;
+  if (values.size() == 1) return {mean, 0.0};
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= (n - 1.0);
+  return {mean, 1.96 * std::sqrt(var / n)};
+}
+
+}  // namespace haccs::stats

@@ -1,0 +1,38 @@
+// Evaluation metrics: clustering quality against ground truth, and basic
+// summary statistics (mean, 95% confidence interval) for experiment reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace haccs::stats {
+
+struct PairwiseClusteringScores {
+  double precision = 0.0;  ///< of pairs predicted together, truly together
+  double recall = 0.0;     ///< of truly-together pairs, predicted together
+  double f1 = 0.0;
+  double rand_index = 0.0;
+};
+
+/// Pairwise co-membership scores for a predicted labeling vs. ground truth.
+/// Noise points (label < 0) are treated as singleton clusters.
+PairwiseClusteringScores pairwise_clustering_scores(
+    std::span<const int> predicted, std::span<const int> truth);
+
+/// The paper's Fig. 8a metric — "the number of clusters we correctly
+/// identify": fraction of ground-truth groups whose member set is exactly
+/// one predicted cluster. Noise points never form a correct cluster unless
+/// the ground-truth group is a singleton.
+double exact_cluster_recovery(std::span<const int> predicted,
+                              std::span<const int> truth);
+
+struct MeanCi {
+  double mean = 0.0;
+  double margin = 0.0;  ///< half-width of the 95% confidence interval
+};
+
+/// Sample mean and normal-approximation 95% CI margin (1.96 * s / sqrt(n)).
+/// Requires at least one value; margin is 0 for n == 1.
+MeanCi mean_ci95(std::span<const double> values);
+
+}  // namespace haccs::stats

@@ -1,0 +1,95 @@
+// Client data-distribution summaries (paper §IV-A).
+//
+// The factorization P(X, y) = P(y) P(X | y) (Eq. 2) motivates two summaries:
+//   * ResponseSummary      — the label histogram P(y), Θ(c) bytes.
+//   * ConditionalSummary   — one feature histogram per label, P(X|y),
+//                            Θ(c·p) bytes for p bins.
+// Both can be privatized with the Laplace mechanism (privacy.hpp) before
+// leaving the client. SummaryKind selects which summary a HACCS deployment
+// uses; distance() dispatches to Hellinger / average-Hellinger accordingly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace haccs::stats {
+
+enum class SummaryKind {
+  Response,     ///< P(y) label histogram
+  Conditional,  ///< P(X|y) per-label feature histograms
+  Quantile,     ///< per-label feature quantile sketches (extension; §V-E
+                ///< names alternative summaries as future work)
+};
+
+std::string to_string(SummaryKind kind);
+SummaryKind parse_summary_kind(const std::string& name);
+
+struct ResponseSummary {
+  Histogram label_counts;
+
+  explicit ResponseSummary(std::size_t classes) : label_counts(classes) {}
+};
+
+struct ConditionalSummary {
+  /// One feature-value histogram per class label; empty histogram when the
+  /// label does not occur on the client.
+  std::vector<Histogram> per_label;
+};
+
+struct ConditionalSummaryConfig {
+  std::size_t bins = 16;
+  double lo = -4.0;  ///< feature-value range covered by the bins
+  double hi = 4.0;
+};
+
+/// Computes the P(y) summary from a local dataset.
+ResponseSummary summarize_response(const data::Dataset& dataset);
+
+/// Computes the P(X|y) summary: all feature values of samples with label c
+/// are pooled into the c-th histogram.
+ConditionalSummary summarize_conditional(const data::Dataset& dataset,
+                                         const ConditionalSummaryConfig& config);
+
+/// Per-label feature quantile sketch: for each class label, the empirical
+/// quantiles of all feature values of that label's samples, plus the sample
+/// mass. More compact than a histogram at the same resolution and directly
+/// comparable across clients without bin alignment.
+struct QuantileSummary {
+  /// quantiles[c] is empty when label c has no samples; otherwise it holds
+  /// `num_quantiles` values at probabilities (i+1)/(num_quantiles+1).
+  std::vector<std::vector<double>> per_label;
+  std::vector<double> mass;  ///< feature-value count per label
+};
+
+struct QuantileSummaryConfig {
+  std::size_t num_quantiles = 9;  ///< deciles by default
+  /// Values are clamped into [lo, hi] before sketching (bounds the
+  /// sensitivity of each quantile for the privacy mechanism).
+  double lo = -4.0;
+  double hi = 4.0;
+};
+
+QuantileSummary summarize_quantiles(const data::Dataset& dataset,
+                                    const QuantileSummaryConfig& config);
+
+/// Mass-weighted mean absolute quantile difference, normalized by the
+/// (hi - lo) range so the result lies in [0, 1]. Labels present on exactly
+/// one side contribute distance 1 at their (halved) mass share.
+double quantile_distance(const QuantileSummary& a, const QuantileSummary& b,
+                         const QuantileSummaryConfig& config);
+
+/// Hellinger distance between two response summaries (Eq. 3).
+double distance(const ResponseSummary& a, const ResponseSummary& b);
+
+/// Average Hellinger distance between two conditional summaries.
+double distance(const ConditionalSummary& a, const ConditionalSummary& b);
+
+/// Serialized size of a summary in doubles — used to report the
+/// communication cost Θ(c) vs Θ(c·p) discussed in §IV-A.
+std::size_t summary_size(const ResponseSummary& s);
+std::size_t summary_size(const ConditionalSummary& s);
+
+}  // namespace haccs::stats

@@ -1,0 +1,414 @@
+#include "src/tensor/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+#include "src/common/threadpool.hpp"
+
+namespace haccs::ops {
+
+namespace {
+
+void check_matrix(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string("gemm: ") + name +
+                                " must be rank-2, got " + t.shape_string());
+  }
+}
+
+// Minimum per-thread row count before parallel dispatch pays off.
+constexpr std::size_t kParallelRowThreshold = 64;
+
+template <typename Kernel>
+void dispatch_rows(std::size_t m, Kernel&& kernel) {
+  if (m >= kParallelRowThreshold && ThreadPool::global().size() > 0) {
+    parallel_for(0, m, kernel);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) kernel(i);
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t m = a.extent(0), k = a.extent(1), n = b.extent(1);
+  if (b.extent(0) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm: shape mismatch " + a.shape_string() +
+                                " x " + b.shape_string() + " -> " +
+                                c.shape_string());
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  dispatch_rows(m, [&](std::size_t i) {
+    float* crow = pc + i * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    const float* arow = pa + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  });
+}
+
+void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t m = a.extent(0), k = a.extent(1), n = b.extent(0);
+  if (b.extent(1) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm_bt: shape mismatch");
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  dispatch_rows(m, [&](std::size_t i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = accumulate ? crow[j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  });
+}
+
+void gemm_at(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t k = a.extent(0), m = a.extent(1), n = b.extent(1);
+  if (b.extent(0) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm_at: shape mismatch");
+  }
+  if (!accumulate) c.fill(0.0f);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // C[i][j] += sum_kk A[kk][i] * B[kk][j]; iterate kk outermost for
+  // sequential access to both A and B rows.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+namespace {
+
+void check_conv_shapes(const Conv2dShape& s, const Tensor& input,
+                       const Tensor& weight, const Tensor& bias) {
+  HACCS_CHECK_MSG(s.kernel > 0 && s.stride > 0, "conv2d: bad kernel/stride");
+  HACCS_CHECK_MSG(s.in_h + 2 * s.padding >= s.kernel &&
+                      s.in_w + 2 * s.padding >= s.kernel,
+                  "conv2d: kernel larger than padded input");
+  if (input.rank() != 4 || input.extent(0) != s.batch ||
+      input.extent(1) != s.in_channels || input.extent(2) != s.in_h ||
+      input.extent(3) != s.in_w) {
+    throw std::invalid_argument("conv2d: input shape mismatch " +
+                                input.shape_string());
+  }
+  if (weight.rank() != 4 || weight.extent(0) != s.out_channels ||
+      weight.extent(1) != s.in_channels || weight.extent(2) != s.kernel ||
+      weight.extent(3) != s.kernel) {
+    throw std::invalid_argument("conv2d: weight shape mismatch " +
+                                weight.shape_string());
+  }
+  if (bias.rank() != 1 || bias.extent(0) != s.out_channels) {
+    throw std::invalid_argument("conv2d: bias shape mismatch");
+  }
+}
+
+}  // namespace
+
+void im2col(const Conv2dShape& s, const float* sample, float* columns) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t out_plane = oh * ow;
+  const std::size_t in_plane = s.in_h * s.in_w;
+  // Row (ci, ky, kx), column (y, x): the input pixel feeding that tap.
+  std::size_t row = 0;
+  for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
+    const float* in_c = sample + ci * in_plane;
+    for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < s.kernel; ++kx, ++row) {
+        float* out_row = columns + row * out_plane;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * s.stride + ky) -
+              static_cast<std::ptrdiff_t>(s.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.in_h)) {
+            std::fill(out_row + y * ow, out_row + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * s.stride + kx) -
+                static_cast<std::ptrdiff_t>(s.padding);
+            out_row[y * ow + x] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(s.in_w))
+                    ? 0.0f
+                    : in_c[iy * static_cast<std::ptrdiff_t>(s.in_w) + ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward_im2col(const Conv2dShape& s, const Tensor& input,
+                           const Tensor& weight, const Tensor& bias,
+                           Tensor& output) {
+  check_conv_shapes(s, input, weight, bias);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t out_plane = oh * ow;
+  const std::size_t patch = s.in_channels * s.kernel * s.kernel;
+  if (output.size() != s.batch * s.out_channels * out_plane) {
+    throw std::invalid_argument("conv2d: output shape mismatch");
+  }
+  // Weight as (Cout, patch) and columns as (patch, out_plane):
+  // output_n = W * columns + bias.
+  const Tensor weight2d = weight.reshaped({s.out_channels, patch});
+  const float* b = bias.raw();
+  dispatch_rows(s.batch, [&](std::size_t n) {
+    Tensor columns({patch, out_plane});
+    im2col(s, input.raw() + n * s.in_channels * s.in_h * s.in_w,
+           columns.raw());
+    Tensor out_n({s.out_channels, out_plane});
+    gemm(weight2d, columns, out_n);
+    float* dst = output.raw() + n * s.out_channels * out_plane;
+    for (std::size_t co = 0; co < s.out_channels; ++co) {
+      const float* src = out_n.raw() + co * out_plane;
+      const float bias_c = b[co];
+      for (std::size_t i = 0; i < out_plane; ++i) {
+        dst[co * out_plane + i] = src[i] + bias_c;
+      }
+    }
+  });
+}
+
+void conv2d_forward(const Conv2dShape& s, const Tensor& input,
+                    const Tensor& weight, const Tensor& bias, Tensor& output) {
+  // The GEMM path wins once the patch matrix has real volume; tiny kernels
+  // on tiny images are faster through the direct loops (no packing).
+  const std::size_t work =
+      s.in_channels * s.kernel * s.kernel * s.out_h() * s.out_w();
+  if (work >= 4096) {
+    conv2d_forward_im2col(s, input, weight, bias, output);
+  } else {
+    conv2d_forward_direct(s, input, weight, bias, output);
+  }
+}
+
+void conv2d_forward_direct(const Conv2dShape& s, const Tensor& input,
+                           const Tensor& weight, const Tensor& bias,
+                           Tensor& output) {
+  check_conv_shapes(s, input, weight, bias);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  if (output.rank() != 4 || output.extent(0) != s.batch ||
+      output.extent(1) != s.out_channels || output.extent(2) != oh ||
+      output.extent(3) != ow) {
+    throw std::invalid_argument("conv2d: output shape mismatch");
+  }
+  const float* in = input.raw();
+  const float* w = weight.raw();
+  const float* b = bias.raw();
+  float* out = output.raw();
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t out_plane = oh * ow;
+
+  dispatch_rows(s.batch, [&](std::size_t n) {
+    const float* in_n = in + n * s.in_channels * in_plane;
+    float* out_n = out + n * s.out_channels * out_plane;
+    for (std::size_t co = 0; co < s.out_channels; ++co) {
+      float* out_c = out_n + co * out_plane;
+      const float bias_c = b[co];
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          float acc = bias_c;
+          for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
+            const float* in_c = in_n + ci * in_plane;
+            const float* w_c = w + (co * s.in_channels + ci) * s.kernel * s.kernel;
+            for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+              // signed arithmetic for the padded coordinate
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y * s.stride + ky) -
+                  static_cast<std::ptrdiff_t>(s.padding);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.in_h)) continue;
+              for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * s.stride + kx) -
+                    static_cast<std::ptrdiff_t>(s.padding);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(s.in_w)) continue;
+                acc += in_c[iy * static_cast<std::ptrdiff_t>(s.in_w) + ix] *
+                       w_c[ky * s.kernel + kx];
+              }
+            }
+          }
+          out_c[y * ow + x] = acc;
+        }
+      }
+    }
+  });
+}
+
+void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
+                           const Tensor& weight, Tensor& grad_input) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  HACCS_CHECK_MSG(grad_output.rank() == 4 && grad_output.extent(2) == oh &&
+                      grad_output.extent(3) == ow,
+                  "conv2d_backward_input: grad_output shape");
+  grad_input.fill(0.0f);
+  const float* go = grad_output.raw();
+  const float* w = weight.raw();
+  float* gi = grad_input.raw();
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t out_plane = oh * ow;
+
+  dispatch_rows(s.batch, [&](std::size_t n) {
+    const float* go_n = go + n * s.out_channels * out_plane;
+    float* gi_n = gi + n * s.in_channels * in_plane;
+    for (std::size_t co = 0; co < s.out_channels; ++co) {
+      const float* go_c = go_n + co * out_plane;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const float g = go_c[y * ow + x];
+          if (g == 0.0f) continue;
+          for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
+            float* gi_c = gi_n + ci * in_plane;
+            const float* w_c =
+                w + (co * s.in_channels + ci) * s.kernel * s.kernel;
+            for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y * s.stride + ky) -
+                  static_cast<std::ptrdiff_t>(s.padding);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.in_h)) continue;
+              for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * s.stride + kx) -
+                    static_cast<std::ptrdiff_t>(s.padding);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(s.in_w)) continue;
+                gi_c[iy * static_cast<std::ptrdiff_t>(s.in_w) + ix] +=
+                    g * w_c[ky * s.kernel + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
+                            const Tensor& grad_output, Tensor& grad_weight,
+                            Tensor& grad_bias) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const float* in = input.raw();
+  const float* go = grad_output.raw();
+  float* gw = grad_weight.raw();
+  float* gb = grad_bias.raw();
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t out_plane = oh * ow;
+
+  // Serial over batch: grad accumulators are shared across samples.
+  for (std::size_t n = 0; n < s.batch; ++n) {
+    const float* in_n = in + n * s.in_channels * in_plane;
+    const float* go_n = go + n * s.out_channels * out_plane;
+    for (std::size_t co = 0; co < s.out_channels; ++co) {
+      const float* go_c = go_n + co * out_plane;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const float g = go_c[y * ow + x];
+          if (g == 0.0f) continue;
+          gb[co] += g;
+          for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
+            const float* in_c = in_n + ci * in_plane;
+            float* gw_c = gw + (co * s.in_channels + ci) * s.kernel * s.kernel;
+            for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y * s.stride + ky) -
+                  static_cast<std::ptrdiff_t>(s.padding);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.in_h)) continue;
+              for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * s.stride + kx) -
+                    static_cast<std::ptrdiff_t>(s.padding);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(s.in_w)) continue;
+                gw_c[ky * s.kernel + kx] +=
+                    g * in_c[iy * static_cast<std::ptrdiff_t>(s.in_w) + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
+                     std::vector<std::size_t>& argmax) {
+  HACCS_CHECK_MSG(s.window > 0 && s.in_h >= s.window && s.in_w >= s.window,
+                  "maxpool: bad window");
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  if (output.size() != s.batch * s.channels * oh * ow) {
+    throw std::invalid_argument("maxpool: output shape mismatch");
+  }
+  argmax.resize(output.size());
+  const float* in = input.raw();
+  float* out = output.raw();
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t out_plane = oh * ow;
+
+  for (std::size_t n = 0; n < s.batch; ++n) {
+    for (std::size_t c = 0; c < s.channels; ++c) {
+      const std::size_t in_base = (n * s.channels + c) * in_plane;
+      const std::size_t out_base = (n * s.channels + c) * out_plane;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t wy = 0; wy < s.window; ++wy) {
+            for (std::size_t wx = 0; wx < s.window; ++wx) {
+              const std::size_t idx = in_base +
+                                      (y * s.window + wy) * s.in_w +
+                                      (x * s.window + wx);
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[out_base + y * ow + x] = best;
+          argmax[out_base + y * ow + x] = best_idx;
+        }
+      }
+    }
+  }
+}
+
+void maxpool_backward(const Pool2dShape& s, const Tensor& grad_output,
+                      const std::vector<std::size_t>& argmax,
+                      Tensor& grad_input) {
+  if (grad_output.size() != argmax.size()) {
+    throw std::invalid_argument("maxpool_backward: argmax size mismatch");
+  }
+  (void)s;
+  grad_input.fill(0.0f);
+  const float* go = grad_output.raw();
+  float* gi = grad_input.raw();
+  for (std::size_t i = 0; i < argmax.size(); ++i) gi[argmax[i]] += go[i];
+}
+
+}  // namespace haccs::ops

@@ -1,0 +1,99 @@
+// Tensor kernels: GEMM family, 2-D convolution, and max-pooling.
+//
+// These are the compute primitives behind the neural-network layers. GEMM is
+// cache-blocked and parallelized over row blocks with parallel_for; the
+// convolution kernels are direct loops (the models in this repository use
+// small 5x5 kernels on small images, where im2col's packing overhead does not
+// pay off on a single core).
+#pragma once
+
+#include <cstddef>
+
+#include "src/tensor/tensor.hpp"
+
+namespace haccs::ops {
+
+/// C = A(m,k) * B(k,n). Shapes are validated; C is resized by the caller
+/// passing a correctly-shaped tensor. `accumulate == false` overwrites C.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// C = A(m,k) * B(n,k)^T -> (m,n).
+void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+
+/// C = A(k,m)^T * B(k,n) -> (m,n).
+void gemm_at(const Tensor& a, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+
+struct Conv2dShape {
+  std::size_t batch;
+  std::size_t in_channels;
+  std::size_t in_h;
+  std::size_t in_w;
+  std::size_t out_channels;
+  std::size_t kernel;   // square kernels only
+  std::size_t stride;
+  std::size_t padding;
+
+  std::size_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+};
+
+/// Forward convolution. input: (N, Cin, H, W); weight: (Cout, Cin, K, K);
+/// bias: (Cout); output: (N, Cout, Hout, Wout) — allocated by caller.
+/// Dispatches to the im2col+GEMM path when the patch matrix is large enough
+/// to amortize the packing, and to direct loops otherwise.
+void conv2d_forward(const Conv2dShape& s, const Tensor& input,
+                    const Tensor& weight, const Tensor& bias, Tensor& output);
+
+/// Direct-loop forward convolution (always available; reference semantics).
+void conv2d_forward_direct(const Conv2dShape& s, const Tensor& input,
+                           const Tensor& weight, const Tensor& bias,
+                           Tensor& output);
+
+/// im2col + GEMM forward convolution. Produces bit-different but numerically
+/// equivalent results to the direct path (same multiply/add tree per output
+/// up to float reassociation by GEMM row order; in practice identical for
+/// the accumulation orders used here).
+void conv2d_forward_im2col(const Conv2dShape& s, const Tensor& input,
+                           const Tensor& weight, const Tensor& bias,
+                           Tensor& output);
+
+/// Unrolls one sample's padded patches into a (Cin*K*K, Hout*Wout) matrix.
+/// `sample` points at the (Cin, H, W) block; `columns` must be presized.
+void im2col(const Conv2dShape& s, const float* sample, float* columns);
+
+/// Gradient w.r.t. input. grad_output: (N, Cout, Hout, Wout) ->
+/// grad_input: (N, Cin, H, W), overwritten.
+void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
+                           const Tensor& weight, Tensor& grad_input);
+
+/// Gradients w.r.t. weight and bias, *accumulated* into grad_weight /
+/// grad_bias (caller zeroes them at the start of a batch).
+void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
+                            const Tensor& grad_output, Tensor& grad_weight,
+                            Tensor& grad_bias);
+
+struct Pool2dShape {
+  std::size_t batch;
+  std::size_t channels;
+  std::size_t in_h;
+  std::size_t in_w;
+  std::size_t window;  // square window, stride == window (non-overlapping)
+
+  std::size_t out_h() const { return in_h / window; }
+  std::size_t out_w() const { return in_w / window; }
+};
+
+/// Max pooling; `argmax` records the flat input index of each maximum for
+/// the backward pass. output/argmax: (N, C, Hout, Wout)-sized.
+void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
+                     std::vector<std::size_t>& argmax);
+
+/// Scatter grad_output back through the recorded argmax indices;
+/// grad_input is overwritten.
+void maxpool_backward(const Pool2dShape& s, const Tensor& grad_output,
+                      const std::vector<std::size_t>& argmax,
+                      Tensor& grad_input);
+
+}  // namespace haccs::ops

@@ -1,0 +1,143 @@
+#include "src/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/error.hpp"
+
+namespace haccs {
+
+namespace {
+std::size_t shape_product(const std::vector<std::size_t>& shape) {
+  std::size_t total = 1;
+  for (std::size_t e : shape) {
+    if (e == 0) throw std::invalid_argument("Tensor: zero extent");
+    total *= e;
+  }
+  return total;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_product(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_product(shape_)) {
+    throw std::invalid_argument("Tensor: values size does not match shape " +
+                                shape_string());
+  }
+}
+
+std::size_t Tensor::extent(std::size_t dim) const {
+  if (dim >= shape_.size()) {
+    throw std::out_of_range("Tensor::extent: dim out of range");
+  }
+  return shape_[dim];
+}
+
+void Tensor::check_rank(std::size_t expected) const {
+  if (shape_.size() != expected) {
+    throw std::logic_error("Tensor: expected rank " + std::to_string(expected) +
+                           ", have shape " + shape_string());
+  }
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  check_rank(2);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  check_rank(2);
+  return data_[r * shape_[1] + c];
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  check_rank(4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  check_rank(4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_product(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) throw std::logic_error("Tensor::mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  HACCS_CHECK_MSG(same_shape(other), "Tensor += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  HACCS_CHECK_MSG(same_shape(other), "Tensor -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scalar) {
+  HACCS_CHECK_MSG(same_shape(other), "Tensor::add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+}
+
+}  // namespace haccs

@@ -1,0 +1,231 @@
+// haccs_run — the command-line experiment driver.
+//
+// One binary to run any federated training experiment this library
+// supports, entirely from flags: pick a dataset family, a partition, a
+// selection strategy, heterogeneity and privacy knobs, optional dropout,
+// train, and emit TTA rows / CSV curves / a model checkpoint.
+//
+//   haccs_run --strategy=haccs-py --partition=majority --rounds=200
+//   haccs_run --strategy=oort --partition=dirichlet --alpha=0.3
+//   haccs_run --strategy=haccs-pxy --dropout=0.1 --epsilon=0.1 \
+//             --save-model=/tmp/model.bin --csv=/tmp/run
+//
+// Strategies: random | tifl | oort | haccs-py | haccs-pxy | gradient |
+//             stratified
+// Partitions: majority | iid | klabels | feature-skew | dirichlet | groups
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/core/gradient_selector.hpp"
+#include "src/core/stratified_selector.hpp"
+#include "src/nn/serialize.hpp"
+#include "src/select/oort.hpp"
+#include "src/select/random_selector.hpp"
+#include "src/select/tifl.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "haccs_run — federated training experiment driver\n"
+      "  --strategy=S    random|tifl|oort|haccs-py|haccs-pxy|haccs-qxy|"
+      "gradient|stratified (default haccs-py)\n"
+      "  --partition=P   majority|iid|klabels|feature-skew|dirichlet|groups "
+      "(default majority)\n"
+      "  --dataset=D     mnist|femnist|cifar (default femnist)\n"
+      "  --clients=N --per-round=K --rounds=R --classes=C --seed=N --full\n"
+      "  --k=N           labels per client for --partition=klabels (default 5)\n"
+      "  --alpha=A       Dirichlet concentration (default 0.5)\n"
+      "  --rotation=DEG  feature-skew rotation (default 45)\n"
+      "  --rho=R         Eq. 7 trade-off (default 0.5)\n"
+      "  --epsilon=E     DP budget for summaries (default: no noise)\n"
+      "  --dropout=F     per-epoch unavailable fraction (default 0)\n"
+      "  --recluster=N   re-cluster every N epochs (default 0 = static)\n"
+      "  --fedprox       use the FedProx local objective\n"
+      "  --mu=M          FedProx proximal coefficient (default 0.01)\n"
+      "  --targets=CSV   accuracy targets, e.g. 0.5,0.7,0.8\n"
+      "  --save-model=F  write final parameters as a checkpoint\n"
+      "  --csv=PREFIX    write <prefix>_curve.csv\n"
+      "  --help          this text");
+}
+
+std::vector<double> parse_targets(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    auto comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::stod(csv.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+
+  bench::ExperimentConfig exp;
+  exp.apply_flags(flags);
+  const std::string strategy = flags.get_string("strategy", "haccs-py");
+  const std::string partition = flags.get_string("partition", "majority");
+  const auto k_labels = static_cast<std::size_t>(flags.get_int("k", 5));
+  const double alpha = flags.get_double("alpha", 0.5);
+  const double rotation = flags.get_double("rotation", 45.0);
+  const double rho = flags.get_double("rho", 0.5);
+  const double epsilon = flags.get_double("epsilon", 0.0);
+  const std::string mechanism = flags.get_string("mechanism", "laplace");
+  const double dropout_fraction = flags.get_double("dropout", 0.0);
+  const auto recluster =
+      static_cast<std::size_t>(flags.get_int("recluster", 0));
+  const bool fedprox = flags.get_bool("fedprox", false);
+  const double mu = flags.get_double("mu", 0.01);
+  const auto targets = parse_targets(flags.get_string("targets", "0.5,0.7,0.8"));
+  const std::string save_model = flags.get_string("save-model", "");
+  const std::string csv = flags.get_string("csv", "");
+  flags.check_unused();
+
+  // ---- data ----
+  auto gen = exp.make_generator();
+  Rng rng(exp.seed);
+  const auto pcfg = exp.make_partition_config();
+  data::FederatedDataset fed;
+  if (partition == "majority") {
+    fed = data::partition_majority_label(gen, pcfg, rng);
+  } else if (partition == "iid") {
+    fed = data::partition_iid(gen, pcfg, rng);
+  } else if (partition == "klabels") {
+    fed = data::partition_k_random_labels(gen, pcfg, k_labels, rng);
+  } else if (partition == "feature-skew") {
+    fed = data::partition_feature_skew(gen, pcfg, rotation, rng);
+  } else if (partition == "dirichlet") {
+    fed = data::partition_dirichlet(gen, pcfg, alpha, rng);
+  } else if (partition == "groups") {
+    fed = data::partition_group_table(gen, pcfg, rng);
+  } else {
+    std::fprintf(stderr, "unknown partition '%s'\n", partition.c_str());
+    return 1;
+  }
+
+  // ---- engine ----
+  auto engine_config = exp.make_engine_config(fed);
+  if (fedprox) {
+    engine_config.algorithm = fl::LocalAlgorithm::FedProx;
+    engine_config.fedprox_mu = mu;
+  }
+  fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                               engine_config);
+
+  // ---- strategy ----
+  core::HaccsConfig haccs;
+  haccs.rho = rho;
+  haccs.recluster_every = recluster;
+  haccs.initial_loss = engine_config.initial_loss;
+  if (epsilon > 0.0) {
+    haccs.privacy = stats::PrivacyConfig{epsilon};
+    if (mechanism == "gaussian") {
+      haccs.privacy.mechanism = stats::NoiseMechanism::Gaussian;
+    } else if (mechanism != "laplace") {
+      std::fprintf(stderr, "unknown mechanism '%s'\n", mechanism.c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<fl::ClientSelector> selector;
+  if (strategy == "random") {
+    selector = std::make_unique<select::RandomSelector>();
+  } else if (strategy == "tifl") {
+    select::TiflConfig cfg;
+    cfg.expected_rounds = engine_config.rounds;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::TiflSelector>(cfg);
+  } else if (strategy == "oort") {
+    select::OortConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::OortSelector>(cfg);
+  } else if (strategy == "haccs-py") {
+    haccs.summary = stats::SummaryKind::Response;
+    selector = std::make_unique<core::HaccsSelector>(fed, haccs);
+  } else if (strategy == "haccs-pxy") {
+    haccs.summary = stats::SummaryKind::Conditional;
+    selector = std::make_unique<core::HaccsSelector>(fed, haccs);
+  } else if (strategy == "haccs-qxy") {
+    haccs.summary = stats::SummaryKind::Quantile;
+    selector = std::make_unique<core::HaccsSelector>(fed, haccs);
+  } else if (strategy == "gradient") {
+    core::GradientSelectorConfig cfg;
+    cfg.scheduling = haccs;
+    selector = std::make_unique<core::GradientClusterSelector>(cfg);
+  } else if (strategy == "stratified") {
+    selector = std::make_unique<core::StratifiedSelector>(fed, haccs);
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (--help for options)\n",
+                 strategy.c_str());
+    return 1;
+  }
+
+  // ---- run ----
+  std::fprintf(stderr, "running %s on %s/%s: %zu clients, %zu/round, %zu rounds\n",
+               selector->name().c_str(), bench::to_string(exp.dataset).c_str(),
+               partition.c_str(), fed.num_clients(),
+               engine_config.clients_per_round, engine_config.rounds);
+  fl::TrainingHistory history;
+  if (dropout_fraction > 0.0) {
+    const auto schedule = sim::make_per_epoch_dropout(
+        fed.num_clients(), dropout_fraction, exp.seed + 101);
+    history = trainer.run(*selector, *schedule);
+  } else {
+    history = trainer.run(*selector);
+  }
+
+  // ---- report ----
+  Table summary({"metric", "value"});
+  summary.add_row({"strategy", selector->name()});
+  summary.add_row({"partition", partition});
+  summary.add_row({"final_accuracy", Table::num(history.final_accuracy(), 4)});
+  summary.add_row({"best_accuracy", Table::num(history.best_accuracy(), 4)});
+  summary.add_row({"total_sim_time_s", Table::num(history.total_time(), 1)});
+  for (double t : targets) {
+    summary.add_row({"tta@" + Table::num(100 * t, 0) + "%",
+                     fl::format_tta(history.time_to_accuracy(t))});
+  }
+  const auto counts = history.selection_counts(fed.num_clients());
+  std::size_t included = 0;
+  for (std::size_t c : counts) {
+    if (c > 0) ++included;
+  }
+  summary.add_row({"devices_included", std::to_string(included) + "/" +
+                                           std::to_string(fed.num_clients())});
+  summary.print();
+
+  if (!csv.empty()) {
+    Table curve({"epoch", "sim_time_s", "accuracy"});
+    double last = -1.0;
+    for (const auto& r : history.records()) {
+      if (r.global_accuracy == last) continue;
+      last = r.global_accuracy;
+      curve.add_row({std::to_string(r.epoch), Table::num(r.sim_time_s, 2),
+                     Table::num(r.global_accuracy, 4)});
+    }
+    curve.write_csv(csv + "_curve.csv");
+    std::fprintf(stderr, "wrote %s_curve.csv\n", csv.c_str());
+  }
+
+  if (!save_model.empty()) {
+    auto model = core::default_model_factory(fed, 99)();
+    model.set_parameters(trainer.final_parameters());
+    nn::save_parameters(model, save_model);
+    std::fprintf(stderr, "wrote trained checkpoint to %s\n",
+                 save_model.c_str());
+  }
+  return 0;
+}
