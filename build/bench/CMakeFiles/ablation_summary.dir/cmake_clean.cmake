@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_summary.dir/ablation_summary.cpp.o"
+  "CMakeFiles/ablation_summary.dir/ablation_summary.cpp.o.d"
+  "ablation_summary"
+  "ablation_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_systems.dir/ablation_systems.cpp.o"
+  "CMakeFiles/ablation_systems.dir/ablation_systems.cpp.o.d"
+  "ablation_systems"
+  "ablation_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

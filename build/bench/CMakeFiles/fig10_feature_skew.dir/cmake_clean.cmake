@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_feature_skew.dir/fig10_feature_skew.cpp.o"
+  "CMakeFiles/fig10_feature_skew.dir/fig10_feature_skew.cpp.o.d"
+  "fig10_feature_skew"
+  "fig10_feature_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_feature_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bias.dir/fig11_bias.cpp.o"
+  "CMakeFiles/fig11_bias.dir/fig11_bias.cpp.o.d"
+  "fig11_bias"
+  "fig11_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dropout_groups.dir/fig1_dropout_groups.cpp.o"
+  "CMakeFiles/fig1_dropout_groups.dir/fig1_dropout_groups.cpp.o.d"
+  "fig1_dropout_groups"
+  "fig1_dropout_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dropout_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

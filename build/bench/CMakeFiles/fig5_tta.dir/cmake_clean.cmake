@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tta.dir/fig5_tta.cpp.o"
+  "CMakeFiles/fig5_tta.dir/fig5_tta.cpp.o.d"
+  "fig5_tta"
+  "fig5_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dropout.dir/fig6_dropout.cpp.o"
+  "CMakeFiles/fig6_dropout.dir/fig6_dropout.cpp.o.d"
+  "fig6_dropout"
+  "fig6_dropout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dropout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

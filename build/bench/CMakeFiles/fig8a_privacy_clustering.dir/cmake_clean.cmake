@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_privacy_clustering.dir/fig8a_privacy_clustering.cpp.o"
+  "CMakeFiles/fig8a_privacy_clustering.dir/fig8a_privacy_clustering.cpp.o.d"
+  "fig8a_privacy_clustering"
+  "fig8a_privacy_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_privacy_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

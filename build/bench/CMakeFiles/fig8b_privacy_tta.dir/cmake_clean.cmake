@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_privacy_tta.dir/fig8b_privacy_tta.cpp.o"
+  "CMakeFiles/fig8b_privacy_tta.dir/fig8b_privacy_tta.cpp.o.d"
+  "fig8b_privacy_tta"
+  "fig8b_privacy_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_privacy_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

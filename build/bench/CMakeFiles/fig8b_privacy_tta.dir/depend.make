@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_privacy_tta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rho.dir/fig9_rho.cpp.o"
+  "CMakeFiles/fig9_rho.dir/fig9_rho.cpp.o.d"
+  "fig9_rho"
+  "fig9_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/haccs_bench_harness.dir/harness.cpp.o.d"
+  "libhaccs_bench_harness.a"
+  "libhaccs_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

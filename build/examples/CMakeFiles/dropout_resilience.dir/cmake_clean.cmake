@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_resilience.dir/dropout_resilience.cpp.o"
+  "CMakeFiles/dropout_resilience.dir/dropout_resilience.cpp.o.d"
+  "dropout_resilience"
+  "dropout_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/extensions_tour.cpp" "examples/CMakeFiles/extensions_tour.dir/extensions_tour.cpp.o" "gcc" "examples/CMakeFiles/extensions_tour.dir/extensions_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/haccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/haccs_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/haccs_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/haccs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haccs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/haccs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/haccs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/haccs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/haccs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_federation.dir/skewed_federation.cpp.o"
+  "CMakeFiles/skewed_federation.dir/skewed_federation.cpp.o.d"
+  "skewed_federation"
+  "skewed_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/dbscan.cpp" "src/clustering/CMakeFiles/haccs_clustering.dir/dbscan.cpp.o" "gcc" "src/clustering/CMakeFiles/haccs_clustering.dir/dbscan.cpp.o.d"
+  "/root/repo/src/clustering/distance_matrix.cpp" "src/clustering/CMakeFiles/haccs_clustering.dir/distance_matrix.cpp.o" "gcc" "src/clustering/CMakeFiles/haccs_clustering.dir/distance_matrix.cpp.o.d"
+  "/root/repo/src/clustering/optics.cpp" "src/clustering/CMakeFiles/haccs_clustering.dir/optics.cpp.o" "gcc" "src/clustering/CMakeFiles/haccs_clustering.dir/optics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_clustering.dir/dbscan.cpp.o"
+  "CMakeFiles/haccs_clustering.dir/dbscan.cpp.o.d"
+  "CMakeFiles/haccs_clustering.dir/distance_matrix.cpp.o"
+  "CMakeFiles/haccs_clustering.dir/distance_matrix.cpp.o.d"
+  "CMakeFiles/haccs_clustering.dir/optics.cpp.o"
+  "CMakeFiles/haccs_clustering.dir/optics.cpp.o.d"
+  "libhaccs_clustering.a"
+  "libhaccs_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_common.dir/flags.cpp.o"
+  "CMakeFiles/haccs_common.dir/flags.cpp.o.d"
+  "CMakeFiles/haccs_common.dir/logging.cpp.o"
+  "CMakeFiles/haccs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/haccs_common.dir/rng.cpp.o"
+  "CMakeFiles/haccs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/haccs_common.dir/table.cpp.o"
+  "CMakeFiles/haccs_common.dir/table.cpp.o.d"
+  "CMakeFiles/haccs_common.dir/threadpool.cpp.o"
+  "CMakeFiles/haccs_common.dir/threadpool.cpp.o.d"
+  "libhaccs_common.a"
+  "libhaccs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_core.dir/gradient_selector.cpp.o"
+  "CMakeFiles/haccs_core.dir/gradient_selector.cpp.o.d"
+  "CMakeFiles/haccs_core.dir/haccs_selector.cpp.o"
+  "CMakeFiles/haccs_core.dir/haccs_selector.cpp.o.d"
+  "CMakeFiles/haccs_core.dir/haccs_system.cpp.o"
+  "CMakeFiles/haccs_core.dir/haccs_system.cpp.o.d"
+  "CMakeFiles/haccs_core.dir/pipeline.cpp.o"
+  "CMakeFiles/haccs_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/haccs_core.dir/stratified_selector.cpp.o"
+  "CMakeFiles/haccs_core.dir/stratified_selector.cpp.o.d"
+  "libhaccs_core.a"
+  "libhaccs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_data.dir/dataset.cpp.o"
+  "CMakeFiles/haccs_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/haccs_data.dir/partition.cpp.o"
+  "CMakeFiles/haccs_data.dir/partition.cpp.o.d"
+  "CMakeFiles/haccs_data.dir/synthetic.cpp.o"
+  "CMakeFiles/haccs_data.dir/synthetic.cpp.o.d"
+  "libhaccs_data.a"
+  "libhaccs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

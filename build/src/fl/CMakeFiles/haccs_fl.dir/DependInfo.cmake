@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/async_engine.cpp" "src/fl/CMakeFiles/haccs_fl.dir/async_engine.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/async_engine.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/haccs_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/haccs_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/engine.cpp" "src/fl/CMakeFiles/haccs_fl.dir/engine.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/engine.cpp.o.d"
+  "/root/repo/src/fl/evaluation.cpp" "src/fl/CMakeFiles/haccs_fl.dir/evaluation.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/evaluation.cpp.o.d"
+  "/root/repo/src/fl/fedprox.cpp" "src/fl/CMakeFiles/haccs_fl.dir/fedprox.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/fedprox.cpp.o.d"
+  "/root/repo/src/fl/history.cpp" "src/fl/CMakeFiles/haccs_fl.dir/history.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/history.cpp.o.d"
+  "/root/repo/src/fl/selector.cpp" "src/fl/CMakeFiles/haccs_fl.dir/selector.cpp.o" "gcc" "src/fl/CMakeFiles/haccs_fl.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/haccs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/haccs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haccs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/haccs_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_fl.dir/async_engine.cpp.o"
+  "CMakeFiles/haccs_fl.dir/async_engine.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/client.cpp.o"
+  "CMakeFiles/haccs_fl.dir/client.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/compression.cpp.o"
+  "CMakeFiles/haccs_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/engine.cpp.o"
+  "CMakeFiles/haccs_fl.dir/engine.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/evaluation.cpp.o"
+  "CMakeFiles/haccs_fl.dir/evaluation.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/fedprox.cpp.o"
+  "CMakeFiles/haccs_fl.dir/fedprox.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/history.cpp.o"
+  "CMakeFiles/haccs_fl.dir/history.cpp.o.d"
+  "CMakeFiles/haccs_fl.dir/selector.cpp.o"
+  "CMakeFiles/haccs_fl.dir/selector.cpp.o.d"
+  "libhaccs_fl.a"
+  "libhaccs_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_nn.dir/layer.cpp.o"
+  "CMakeFiles/haccs_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/haccs_nn.dir/loss.cpp.o"
+  "CMakeFiles/haccs_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/haccs_nn.dir/model.cpp.o"
+  "CMakeFiles/haccs_nn.dir/model.cpp.o.d"
+  "CMakeFiles/haccs_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/haccs_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/haccs_nn.dir/serialize.cpp.o"
+  "CMakeFiles/haccs_nn.dir/serialize.cpp.o.d"
+  "libhaccs_nn.a"
+  "libhaccs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/oort.cpp" "src/select/CMakeFiles/haccs_select.dir/oort.cpp.o" "gcc" "src/select/CMakeFiles/haccs_select.dir/oort.cpp.o.d"
+  "/root/repo/src/select/random_selector.cpp" "src/select/CMakeFiles/haccs_select.dir/random_selector.cpp.o" "gcc" "src/select/CMakeFiles/haccs_select.dir/random_selector.cpp.o.d"
+  "/root/repo/src/select/tifl.cpp" "src/select/CMakeFiles/haccs_select.dir/tifl.cpp.o" "gcc" "src/select/CMakeFiles/haccs_select.dir/tifl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/haccs_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/haccs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/haccs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/haccs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haccs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

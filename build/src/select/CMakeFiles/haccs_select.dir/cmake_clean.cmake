@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_select.dir/oort.cpp.o"
+  "CMakeFiles/haccs_select.dir/oort.cpp.o.d"
+  "CMakeFiles/haccs_select.dir/random_selector.cpp.o"
+  "CMakeFiles/haccs_select.dir/random_selector.cpp.o.d"
+  "CMakeFiles/haccs_select.dir/tifl.cpp.o"
+  "CMakeFiles/haccs_select.dir/tifl.cpp.o.d"
+  "libhaccs_select.a"
+  "libhaccs_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_sim.dir/dropout.cpp.o"
+  "CMakeFiles/haccs_sim.dir/dropout.cpp.o.d"
+  "CMakeFiles/haccs_sim.dir/latency.cpp.o"
+  "CMakeFiles/haccs_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/haccs_sim.dir/profile.cpp.o"
+  "CMakeFiles/haccs_sim.dir/profile.cpp.o.d"
+  "libhaccs_sim.a"
+  "libhaccs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

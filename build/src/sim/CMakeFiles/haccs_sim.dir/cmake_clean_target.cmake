@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhaccs_sim.a"
+)

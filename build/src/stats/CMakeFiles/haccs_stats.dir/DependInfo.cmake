@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/haccs_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/haccs_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/haccs_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/haccs_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/haccs_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/haccs_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/privacy.cpp" "src/stats/CMakeFiles/haccs_stats.dir/privacy.cpp.o" "gcc" "src/stats/CMakeFiles/haccs_stats.dir/privacy.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/haccs_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/haccs_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/haccs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/haccs_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

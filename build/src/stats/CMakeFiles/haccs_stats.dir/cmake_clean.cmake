@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_stats.dir/distance.cpp.o"
+  "CMakeFiles/haccs_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/haccs_stats.dir/histogram.cpp.o"
+  "CMakeFiles/haccs_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/haccs_stats.dir/metrics.cpp.o"
+  "CMakeFiles/haccs_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/haccs_stats.dir/privacy.cpp.o"
+  "CMakeFiles/haccs_stats.dir/privacy.cpp.o.d"
+  "CMakeFiles/haccs_stats.dir/summary.cpp.o"
+  "CMakeFiles/haccs_stats.dir/summary.cpp.o.d"
+  "libhaccs_stats.a"
+  "libhaccs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_tensor.dir/ops.cpp.o"
+  "CMakeFiles/haccs_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/haccs_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/haccs_tensor.dir/tensor.cpp.o.d"
+  "libhaccs_tensor.a"
+  "libhaccs_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

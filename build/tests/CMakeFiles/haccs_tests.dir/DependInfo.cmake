@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_test.cpp" "tests/CMakeFiles/haccs_tests.dir/async_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/async_test.cpp.o.d"
+  "/root/repo/tests/clustering_test.cpp" "tests/CMakeFiles/haccs_tests.dir/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/clustering_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/haccs_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/compression_test.cpp" "tests/CMakeFiles/haccs_tests.dir/compression_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/compression_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/haccs_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/haccs_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/haccs_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fl_test.cpp" "tests/CMakeFiles/haccs_tests.dir/fl_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/fl_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/haccs_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/haccs_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/property2_test.cpp" "tests/CMakeFiles/haccs_tests.dir/property2_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/property2_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/haccs_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/select_test.cpp" "tests/CMakeFiles/haccs_tests.dir/select_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/select_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/haccs_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/haccs_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/summary_ext_test.cpp" "tests/CMakeFiles/haccs_tests.dir/summary_ext_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/summary_ext_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/haccs_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/haccs_tests.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/haccs_tests.dir/tools_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/haccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/haccs_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/haccs_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haccs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/haccs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/haccs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/haccs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/haccs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/haccs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/haccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haccs_run.dir/haccs_run.cpp.o"
+  "CMakeFiles/haccs_run.dir/haccs_run.cpp.o.d"
+  "haccs_run"
+  "haccs_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haccs_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
