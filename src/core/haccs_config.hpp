@@ -73,6 +73,19 @@ struct HaccsConfig {
 
   /// Loss assumed for clusters never yet trained.
   double initial_loss = 2.302585;
+
+  /// Reliability penalty multiplier applied to a device's intra-cluster
+  /// priority when it fails mid-round (crash/timeout/corruption): its
+  /// effective latency is scaled by the accumulated penalty, so the
+  /// next-fastest same-cluster device stands in on subsequent rounds.
+  double failure_penalty = 2.0;
+  /// Per-epoch multiplicative decay pulling accumulated penalties back
+  /// toward 1 (a device that behaves again regains its priority).
+  double failure_penalty_decay = 0.95;
+  /// Re-sample a same-cluster stand-in on the round after a member fails
+  /// (keeps every distribution represented under churn). Set false — with
+  /// failure_penalty = 1 — for a fault-unaware HACCS baseline in ablations.
+  bool failure_replacement = true;
 };
 
 }  // namespace haccs::core

@@ -51,6 +51,10 @@ void HaccsSelector::build_clusters(std::vector<int> raw_labels) {
     if (l < 0) l = next++;
   }
   cluster_of_ = std::move(raw_labels);
+  // Reliability penalties survive reclustering (they describe devices, not
+  // clusters); replacement IOUs do not (their cluster ids are stale).
+  penalty_.resize(cluster_of_.size(), 1.0);
+  replacement_queue_.clear();
   clusters_.assign(static_cast<std::size_t>(next), {});
   for (std::size_t i = 0; i < cluster_of_.size(); ++i) {
     clusters_[static_cast<std::size_t>(cluster_of_[i])].push_back(i);
@@ -63,6 +67,25 @@ void HaccsSelector::build_clusters(std::vector<int> raw_labels) {
       cluster_of_[member] = static_cast<int>(c);
     }
   }
+}
+
+void HaccsSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
+                                   fl::FailureKind /*kind*/) {
+  if (client_id >= cluster_of_.size()) return;
+  // Decay the failed device's intra-cluster priority: its effective latency
+  // is inflated by the penalty, so the next-fastest same-distribution device
+  // stands in — the paper's robustness story applied to mid-round faults.
+  penalty_[client_id] =
+      std::min(penalty_[client_id] * config_.failure_penalty, 1.0e6);
+  // Owe the cluster a replacement: the distribution keeps its seat.
+  if (config_.failure_replacement) {
+    replacement_queue_.push_back(
+        static_cast<std::size_t>(cluster_of_[client_id]));
+  }
+}
+
+double HaccsSelector::failure_penalty_of(std::size_t client_id) const {
+  return client_id < penalty_.size() ? penalty_[client_id] : 1.0;
 }
 
 std::vector<double> HaccsSelector::cluster_weights(
@@ -127,12 +150,25 @@ std::vector<std::size_t> HaccsSelector::select(
   if (total_available == 0) return {};
   k = std::min(k, total_available);
 
+  // Reliability penalties decay toward 1 each epoch (exactly 1 stays 1, so
+  // fault-free runs take the identical code path).
+  for (double& p : penalty_) {
+    p = 1.0 + (p - 1.0) * config_.failure_penalty_decay;
+  }
+
+  // Effective latency for in-cluster ranking: expected latency inflated by
+  // the device's reliability penalty.
+  auto effective_latency = [&](std::size_t id) {
+    return clients[id].latency_s * penalty_[id];
+  };
+
   auto pick_from = [&](std::vector<std::size_t>& pool) -> std::size_t {
     HACCS_CHECK(!pool.empty());
     std::size_t chosen_index = 0;
     if (config_.in_cluster == InClusterPolicy::MinLatency) {
       for (std::size_t i = 1; i < pool.size(); ++i) {
-        if (clients[pool[i]].latency_s < clients[pool[chosen_index]].latency_s) {
+        if (effective_latency(pool[i]) <
+            effective_latency(pool[chosen_index])) {
           chosen_index = i;
         }
       }
@@ -142,7 +178,7 @@ std::vector<std::size_t> HaccsSelector::select(
       std::vector<double> w;
       w.reserve(pool.size());
       for (std::size_t id : pool) {
-        w.push_back(1.0 / std::max(clients[id].latency_s, 1e-9));
+        w.push_back(1.0 / std::max(effective_latency(id), 1e-9));
       }
       chosen_index = rng.categorical(w);
     }
@@ -153,6 +189,18 @@ std::vector<std::size_t> HaccsSelector::select(
 
   std::vector<std::size_t> out;
   out.reserve(k);
+  // Replacement IOUs first: clusters that lost a device to a mid-round
+  // fault re-sample a stand-in from the *same* cluster before the weighted
+  // draw, keeping the selection cluster-faithful under churn.
+  if (!replacement_queue_.empty()) {
+    for (std::size_t cluster : replacement_queue_) {
+      if (out.size() >= k) break;
+      if (cluster < remaining.size() && !remaining[cluster].empty()) {
+        out.push_back(pick_from(remaining[cluster]));
+      }
+    }
+    replacement_queue_.clear();
+  }
   // Weighted-SRSWR over clusters: each of the k slots samples a cluster
   // independently (with replacement); a sampled cluster that has run out of
   // available devices forfeits the draw to the next-weighted cluster.

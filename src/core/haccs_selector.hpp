@@ -35,6 +35,17 @@ class HaccsSelector final : public fl::ClientSelector {
                                   std::size_t epoch, Rng& rng) override;
   std::string name() const override;
 
+  /// Failure-aware reaction (robustness extension): the failed device's
+  /// intra-cluster priority is decayed and its cluster is queued for a
+  /// guaranteed replacement draw on the next select() — selection stays
+  /// cluster-faithful under churn (the same distribution keeps its seat).
+  void report_failure(std::size_t client_id, std::size_t epoch,
+                      fl::FailureKind kind) override;
+
+  /// Accumulated reliability penalty of a client (1 = no penalty) —
+  /// exposed for tests.
+  double failure_penalty_of(std::size_t client_id) const;
+
   /// Re-runs clustering (e.g. after clients join/leave or summaries change,
   /// §IV-C's real-time adaptation).
   void recluster(const data::FederatedDataset& dataset);
@@ -65,6 +76,10 @@ class HaccsSelector final : public fl::ClientSelector {
   const data::FederatedDataset* dataset_ = nullptr;
   std::vector<int> cluster_of_;
   std::vector<std::vector<std::size_t>> clusters_;
+  /// Reliability penalty per client (>= 1; decays toward 1 each epoch).
+  std::vector<double> penalty_;
+  /// Clusters owed a replacement draw after a member failed mid-round.
+  std::vector<std::size_t> replacement_queue_;
 };
 
 }  // namespace haccs::core

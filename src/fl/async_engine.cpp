@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/fl/engine.hpp"  // update_is_valid
 
 namespace haccs::fl {
 
@@ -15,7 +16,8 @@ AsyncFederatedTrainer::AsyncFederatedTrainer(
     : dataset_(dataset),
       model_factory_(std::move(model_factory)),
       config_(config),
-      latency_model_(config.latency) {
+      latency_model_(config.latency),
+      fault_model_(config.faults) {
   if (dataset_.clients.empty()) {
     throw std::invalid_argument("AsyncFederatedTrainer: no clients");
   }
@@ -35,6 +37,10 @@ AsyncFederatedTrainer::AsyncFederatedTrainer(
   if (config_.staleness_alpha < 0.0) {
     throw std::invalid_argument(
         "AsyncFederatedTrainer: staleness_alpha must be >= 0");
+  }
+  if (config_.max_update_norm < 0.0) {
+    throw std::invalid_argument(
+        "AsyncFederatedTrainer: max_update_norm must be >= 0");
   }
   // Same profile stream derivation as the synchronous engine, so a given
   // seed assigns identical hardware in both (apples-to-apples comparisons).
@@ -92,6 +98,7 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
     std::size_t base_version;          // aggregation count at dispatch
     std::vector<float> delta;          // local - global_at_dispatch
     double loss;
+    bool crashed = false;              // mid-round crash: no update arrives
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -119,27 +126,47 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
     HACCS_CHECK_MSG(id < n && view[id].available,
                     "async: selector returned bad client");
 
-    // Train now (simulation: result materializes at completion time).
-    nn::Sequential local_model = model_factory_();
-    local_model.set_parameters(global_params);
-    Rng client_rng = train_rng.fork();
-    const auto result =
-        train_local(local_model, dataset_.clients[id].train, config_.local,
-                    client_rng);
-    const auto updated = local_model.get_parameters();
+    // Post-dispatch fault for this (client, aggregation) — pure in the
+    // seed, so every strategy faces the same trace.
+    sim::FaultEvent fault;
+    if (fault_model_.enabled()) fault = fault_model_.at(id, version);
+
     Event event;
     event.client = id;
     event.base_version = version;
-    event.loss = result.average_loss;
-    event.delta.resize(updated.size());
-    for (std::size_t p = 0; p < updated.size(); ++p) {
-      event.delta[p] = updated[p] - global_params[p];
+    event.loss = config_.initial_loss;
+    // The fork is consumed even for crashed dispatches, keeping the
+    // training streams aligned across fault configurations.
+    Rng client_rng = train_rng.fork();
+    if (fault.kind == sim::FaultKind::Crash) {
+      event.crashed = true;  // dies mid-round; its compute is wasted
+    } else {
+      // Train now (simulation: result materializes at completion time).
+      nn::Sequential local_model = model_factory_();
+      local_model.set_parameters(global_params);
+      const auto result =
+          train_local(local_model, dataset_.clients[id].train, config_.local,
+                      client_rng);
+      const auto updated = local_model.get_parameters();
+      event.loss = result.average_loss;
+      event.delta.resize(updated.size());
+      for (std::size_t p = 0; p < updated.size(); ++p) {
+        event.delta[p] = updated[p] - global_params[p];
+      }
+      fault_model_.corrupt(fault, event.delta);
     }
     const double jitter =
         config_.latency_jitter_sigma > 0.0
             ? std::exp(config_.latency_jitter_sigma * jitter_rng.normal())
             : 1.0;
-    event.time = now + view[id].latency_s * jitter;
+    double latency = view[id].latency_s * jitter;
+    if (fault.kind == sim::FaultKind::Straggler) {
+      latency *= fault.latency_multiplier;
+    } else if (fault.kind == sim::FaultKind::Crash) {
+      // The slot frees at the crash instant, not the full round latency.
+      latency *= fault.crash_frac;
+    }
+    event.time = now + latency;
     event.sequence = sequence++;
     in_flight[id] = true;
     events.push(event);
@@ -155,15 +182,30 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
   std::vector<Event> buffer;
   double last_aggregation_time = 0.0;
   double last_accuracy = 0.0, last_loss = config_.initial_loss;
+  // Fault accounting carried into the next aggregation's record.
+  std::vector<std::size_t> crashed_since, rejected_since;
+  std::size_t arrived_since = 0;
 
   while (version < config_.aggregations && !events.empty()) {
     Event event = events.top();
     events.pop();
     now = event.time;
     in_flight[event.client] = false;
-    view[event.client].last_loss = event.loss;
-    selector.report_result(event.client, event.loss, version);
-    buffer.push_back(std::move(event));
+    if (event.crashed) {
+      // Crash event: the in-flight slot is freed at the crash instant and
+      // the refill below re-dispatches immediately.
+      crashed_since.push_back(event.client);
+      selector.report_failure(event.client, version, FailureKind::Crash);
+    } else if (!update_is_valid(event.delta, config_.max_update_norm)) {
+      rejected_since.push_back(event.client);
+      selector.report_failure(event.client, version,
+                              FailureKind::CorruptUpdate);
+    } else {
+      ++arrived_since;
+      view[event.client].last_loss = event.loss;
+      selector.report_result(event.client, event.loss, version);
+      buffer.push_back(std::move(event));
+    }
 
     if (buffer.size() >= config_.buffer_size) {
       // Staleness-weighted buffered aggregation.
@@ -193,6 +235,13 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
       record.sim_time_s = now;
       record.round_duration_s = now - last_aggregation_time;
       last_aggregation_time = now;
+      record.dispatched = arrived_since + crashed_since.size() +
+                          rejected_since.size();
+      record.crashed = std::move(crashed_since);
+      record.rejected = std::move(rejected_since);
+      crashed_since.clear();
+      rejected_since.clear();
+      arrived_since = 0;
 
       const bool eval_now = (version - 1) % config_.eval_every == 0 ||
                             version == config_.aggregations;

@@ -28,6 +28,7 @@
 #include "src/fl/history.hpp"
 #include "src/fl/selector.hpp"
 #include "src/sim/dropout.hpp"
+#include "src/sim/faults.hpp"
 #include "src/sim/latency.hpp"
 #include "src/sim/profile.hpp"
 
@@ -51,6 +52,13 @@ struct AsyncEngineConfig {
   double initial_loss = 2.302585;
   double latency_jitter_sigma = 0.2;
   std::uint64_t seed = 1;
+  /// Post-dispatch fault injection. A mid-round crash frees the client's
+  /// in-flight slot at the crash instant and triggers immediate re-dispatch;
+  /// corrupted updates are rejected before entering the buffer. Disabled by
+  /// default — the engine is then bit-identical to the fault-unaware one.
+  sim::FaultModelConfig faults{.crash_rate = 0.0};
+  /// Update-validation norm bound (0 = reject non-finite only).
+  double max_update_norm = 0.0;
 };
 
 class AsyncFederatedTrainer {
@@ -79,6 +87,7 @@ class AsyncFederatedTrainer {
   std::function<nn::Sequential()> model_factory_;
   AsyncEngineConfig config_;
   sim::LatencyModel latency_model_;
+  sim::FaultModel fault_model_;
   std::vector<sim::DeviceProfile> profiles_;
   std::vector<float> final_parameters_;
 };

@@ -17,7 +17,8 @@ FederatedTrainer::FederatedTrainer(const data::FederatedDataset& dataset,
     : dataset_(dataset),
       model_factory_(std::move(model_factory)),
       config_(config),
-      latency_model_(config.latency) {
+      latency_model_(config.latency),
+      fault_model_(config.faults) {
   if (dataset_.clients.empty()) {
     throw std::invalid_argument("FederatedTrainer: no clients");
   }
@@ -28,6 +29,17 @@ FederatedTrainer::FederatedTrainer(const data::FederatedDataset& dataset,
   }
   if (config_.eval_every == 0) {
     throw std::invalid_argument("FederatedTrainer: eval_every must be > 0");
+  }
+  if (config_.overcommit < 0.0) {
+    throw std::invalid_argument("FederatedTrainer: overcommit must be >= 0");
+  }
+  if (config_.deadline_quantile < 0.0 || config_.deadline_quantile > 1.0) {
+    throw std::invalid_argument(
+        "FederatedTrainer: deadline_quantile must be in [0, 1]");
+  }
+  if (config_.max_update_norm < 0.0) {
+    throw std::invalid_argument(
+        "FederatedTrainer: max_update_norm must be >= 0");
   }
   // Device profiles: one stream derived from the seed, independent of the
   // training stream so that adding rounds never changes hardware assignment.
@@ -128,48 +140,106 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
   double last_accuracy = 0.0;
   double last_loss = config_.initial_loss;
 
+  // Over-selection target: how many clients each round dispatches. Clamped
+  // to the population so short federations proceed with a short round
+  // instead of failing.
+  std::size_t dispatch_target = config_.clients_per_round;
+  if (config_.overcommit > 0.0) {
+    dispatch_target = std::min<std::size_t>(
+        static_cast<std::size_t>(
+            std::ceil(static_cast<double>(config_.clients_per_round) *
+                      (1.0 + config_.overcommit))),
+        dataset_.clients.size());
+  }
+  const bool faults_on = fault_model_.enabled();
+  std::vector<sim::CircuitBreaker> breakers(
+      dataset_.clients.size(), sim::CircuitBreaker(config_.breaker));
+
   for (std::size_t epoch = 0; epoch < config_.rounds; ++epoch) {
     if (config_.on_epoch_begin) config_.on_epoch_begin(epoch);
     const auto mask = dropout.available(epoch);
     for (std::size_t i = 0; i < view.size(); ++i) {
-      view[i].available = mask[i];
+      // Quarantined clients (tripped breaker) are masked like dropouts.
+      view[i].available = mask[i] && breakers[i].allows(epoch);
       view[i].latency_s = client_latency_at(i, epoch);
     }
 
-    auto selected =
-        selector.select(config_.clients_per_round, view, epoch, select_rng);
+    auto selected = selector.select(dispatch_target, view, epoch, select_rng);
 
     // Engine-enforced invariants: distinct, in-range, available.
     std::unordered_set<std::size_t> seen;
-    std::vector<std::size_t> participants;
+    std::vector<std::size_t> dispatched;
     for (std::size_t id : selected) {
       HACCS_CHECK_MSG(id < view.size(), "selector returned bad client id");
-      HACCS_CHECK_MSG(mask[id], "selector returned unavailable client");
-      if (seen.insert(id).second) participants.push_back(id);
+      HACCS_CHECK_MSG(view[id].available,
+                      "selector returned unavailable client");
+      if (seen.insert(id).second) dispatched.push_back(id);
     }
-    HACCS_CHECK_MSG(participants.size() <= config_.clients_per_round,
+    HACCS_CHECK_MSG(dispatched.size() <= dispatch_target,
                     "selector returned too many clients");
 
-    std::vector<double> latencies;
-    if (!participants.empty()) {
-      // Fastest participant's latency anchors FedProx work scaling.
-      double min_latency = view[participants.front()].latency_s;
-      for (std::size_t id : participants) {
+    // Post-dispatch fault trace for this round: effective latency (straggler
+    // excursions applied) and the fate of each dispatched client.
+    enum class Fate { Pending, Crashed, Late };
+    const std::size_t n_dispatched = dispatched.size();
+    std::vector<sim::FaultEvent> faults(n_dispatched);
+    std::vector<double> eff_latency(n_dispatched);
+    std::vector<Fate> fate(n_dispatched, Fate::Pending);
+    for (std::size_t i = 0; i < n_dispatched; ++i) {
+      eff_latency[i] = view[dispatched[i]].latency_s;
+      if (faults_on) {
+        faults[i] = fault_model_.at(dispatched[i], epoch);
+        if (faults[i].kind == sim::FaultKind::Straggler) {
+          eff_latency[i] *= faults[i].latency_multiplier;
+        }
+      }
+    }
+    // Deadline: the configured quantile of this round's dispatched effective
+    // latencies. The server stops waiting there; later arrivals are wasted.
+    double deadline = 0.0;
+    if (config_.deadline_quantile > 0.0 && n_dispatched > 0) {
+      std::vector<double> sorted(eff_latency);
+      std::sort(sorted.begin(), sorted.end());
+      const auto idx = static_cast<std::size_t>(
+          config_.deadline_quantile * static_cast<double>(sorted.size() - 1));
+      deadline = sorted[idx];
+    }
+    for (std::size_t i = 0; i < n_dispatched; ++i) {
+      if (faults[i].kind == sim::FaultKind::Crash) {
+        fate[i] = Fate::Crashed;
+      } else if (deadline > 0.0 && eff_latency[i] > deadline) {
+        fate[i] = Fate::Late;
+      }
+    }
+
+    RoundRecord record;
+    record.epoch = epoch;
+    record.dispatched = n_dispatched;
+    record.deadline_s = deadline;
+
+    std::vector<double> observed_times;  // what the server waits for
+    if (n_dispatched > 0) {
+      // Fastest dispatched latency anchors FedProx work scaling (planned
+      // work uses base latencies — straggler excursions are unforeseen).
+      double min_latency = view[dispatched.front()].latency_s;
+      for (std::size_t id : dispatched) {
         min_latency = std::min(min_latency, view[id].latency_s);
       }
       // Fork the per-client training streams serially (deterministic order),
-      // then train all participants in parallel — clients within a round are
-      // independent, exactly like the real system. Each worker gets its own
-      // model instance from the deterministic factory.
+      // then train in parallel — clients within a round are independent,
+      // exactly like the real system. Crashed and late clients never deliver
+      // an update, so their local training is skipped (their fork is still
+      // consumed, keeping the streams aligned across fault configurations).
       std::vector<Rng> client_rngs;
-      client_rngs.reserve(participants.size());
-      for (std::size_t i = 0; i < participants.size(); ++i) {
+      client_rngs.reserve(n_dispatched);
+      for (std::size_t i = 0; i < n_dispatched; ++i) {
         client_rngs.push_back(train_rng.fork());
       }
-      std::vector<std::vector<float>> updated_params(participants.size());
-      std::vector<LocalTrainResult> results(participants.size());
-      parallel_for(0, participants.size(), [&](std::size_t i) {
-        const std::size_t id = participants[i];
+      std::vector<std::vector<float>> updated_params(n_dispatched);
+      std::vector<LocalTrainResult> results(n_dispatched);
+      parallel_for(0, n_dispatched, [&](std::size_t i) {
+        if (fate[i] != Fate::Pending) return;
+        const std::size_t id = dispatched[i];
         nn::Sequential local_model = model_factory_();
         LocalTrainResult result;
         if (config_.algorithm == LocalAlgorithm::FedProx) {
@@ -202,45 +272,84 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
             updated[p] = global_params[p] + compressed.dense[p];
           }
         }
+        if (faults[i].kind == sim::FaultKind::Corruption) {
+          // Wire-level corruption: mangle the delta the server receives
+          // (client-side state, e.g. compression residuals, stays clean).
+          std::vector<float> delta(updated.size());
+          for (std::size_t p = 0; p < updated.size(); ++p) {
+            delta[p] = updated[p] - global_params[p];
+          }
+          fault_model_.corrupt(faults[i], delta);
+          for (std::size_t p = 0; p < updated.size(); ++p) {
+            updated[p] = global_params[p] + delta[p];
+          }
+        }
         updated_params[i] = std::move(updated);
         results[i] = result;
       });
 
-      // FedAvg: weighted average of locally-updated parameters, accumulated
-      // in participant order so the result is independent of worker timing.
+      // FedAvg: weighted average of the accepted updates, accumulated in
+      // dispatch order so the result is independent of worker timing.
+      // Crashed, late, and validation-rejected clients are wasted work.
       std::vector<double> accumulated(global_params.size(), 0.0);
       double total_weight = 0.0;
-      for (std::size_t i = 0; i < participants.size(); ++i) {
-        const std::size_t id = participants[i];
+      for (std::size_t i = 0; i < n_dispatched; ++i) {
+        const std::size_t id = dispatched[i];
+        if (fate[i] == Fate::Crashed) {
+          // Failure surfaces when the connection drops, mid-round.
+          double observed = faults[i].crash_frac * eff_latency[i];
+          if (deadline > 0.0) observed = std::min(observed, deadline);
+          observed_times.push_back(observed);
+          record.crashed.push_back(id);
+          breakers[id].record_failure(epoch);
+          selector.report_failure(id, epoch, FailureKind::Crash);
+          continue;
+        }
+        if (fate[i] == Fate::Late) {
+          // The server waits until the deadline, then gives up on it.
+          observed_times.push_back(deadline);
+          record.late.push_back(id);
+          selector.report_failure(id, epoch, FailureKind::Timeout);
+          continue;
+        }
+        const auto& updated = updated_params[i];
+        // Parameter delta: input to validation and gradient-direction
+        // schedulers alike.
+        std::vector<float> delta(updated.size());
+        for (std::size_t p = 0; p < updated.size(); ++p) {
+          delta[p] = updated[p] - global_params[p];
+        }
+        observed_times.push_back(eff_latency[i]);
+        if (!update_is_valid(delta, config_.max_update_norm)) {
+          HACCS_DEBUG << selector.name() << " epoch " << epoch
+                      << " rejected invalid update from client " << id;
+          record.rejected.push_back(id);
+          breakers[id].record_failure(epoch);
+          selector.report_failure(id, epoch, FailureKind::CorruptUpdate);
+          continue;
+        }
         const auto weight =
             static_cast<double>(dataset_.clients[id].train.size());
-        const auto& updated = updated_params[i];
         for (std::size_t p = 0; p < updated.size(); ++p) {
           accumulated[p] += weight * static_cast<double>(updated[p]);
         }
         total_weight += weight;
         view[id].last_loss = results[i].average_loss;
+        breakers[id].record_success();
         selector.report_result(id, results[i].average_loss, epoch);
-        // Parameter delta for gradient-direction schedulers.
-        std::vector<float> delta(updated.size());
-        for (std::size_t p = 0; p < updated.size(); ++p) {
-          delta[p] = updated[p] - global_params[p];
-        }
         selector.report_update(id, delta, epoch);
-        latencies.push_back(view[id].latency_s);
+        record.selected.push_back(id);
       }
-      for (std::size_t p = 0; p < global_params.size(); ++p) {
-        global_params[p] = static_cast<float>(accumulated[p] / total_weight);
+      if (total_weight > 0.0) {
+        for (std::size_t p = 0; p < global_params.size(); ++p) {
+          global_params[p] = static_cast<float>(accumulated[p] / total_weight);
+        }
       }
     }
 
-    const double round_duration = clock.advance_round(latencies);
-
-    RoundRecord record;
-    record.epoch = epoch;
+    const double round_duration = clock.advance_round(observed_times);
     record.sim_time_s = clock.now();
     record.round_duration_s = round_duration;
-    record.selected = std::move(participants);
 
     const bool eval_now =
         (epoch % config_.eval_every == 0) || (epoch + 1 == config_.rounds);
@@ -260,6 +369,16 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
   }
   final_parameters_ = std::move(global_params);
   return history;
+}
+
+bool update_is_valid(std::span<const float> delta, double max_norm) {
+  double norm_sq = 0.0;
+  for (float v : delta) {
+    if (!std::isfinite(v)) return false;
+    norm_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  if (!std::isfinite(norm_sq)) return false;
+  return max_norm <= 0.0 || norm_sq <= max_norm * max_norm;
 }
 
 }  // namespace haccs::fl

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/data/partition.hpp"
@@ -23,6 +24,7 @@
 #include "src/fl/history.hpp"
 #include "src/fl/selector.hpp"
 #include "src/sim/dropout.hpp"
+#include "src/sim/faults.hpp"
 #include "src/sim/latency.hpp"
 #include "src/sim/profile.hpp"
 
@@ -61,6 +63,27 @@ struct EngineConfig {
   /// the cluster" over time (§IV-E). 0 disables.
   double latency_jitter_sigma = 0.2;
   std::uint64_t seed = 1;
+  /// Post-dispatch fault injection (crashes, corruption, straggler tails).
+  /// Disabled by default; with it disabled and overcommit == 0 the engine is
+  /// bit-identical to the fault-unaware engine for the same seed.
+  sim::FaultModelConfig faults{.crash_rate = 0.0};
+  /// Over-selection: dispatch ceil(clients_per_round * (1 + overcommit))
+  /// clients (clamped to the population) and aggregate whatever lands before
+  /// the deadline. 0 disables — exactly clients_per_round are dispatched.
+  double overcommit = 0.0;
+  /// Round deadline, as a quantile of the dispatched clients' effective
+  /// latencies this round; updates arriving later are discarded (wasted
+  /// work) and the server stops waiting at the deadline. 0 disables — the
+  /// round waits for its straggler, the classic synchronous semantics.
+  double deadline_quantile = 0.0;
+  /// Reject updates whose parameter-delta L2 norm exceeds this bound
+  /// (0 = no norm bound). Non-finite (NaN/Inf) deltas are always rejected —
+  /// a rejected update is logged and skipped, never aggregated.
+  double max_update_norm = 0.0;
+  /// Per-client circuit breaker: a client whose dispatches fail (crash or
+  /// corrupt update) this many consecutive times is quarantined for an
+  /// exponentially growing number of epochs.
+  sim::CircuitBreaker::Config breaker;
   /// Invoked at the start of every epoch, before selection. Used by drift
   /// experiments to mutate client data mid-training (§IV-C's changing
   /// distributions) — the engine reads datasets afresh each round.
@@ -122,10 +145,17 @@ class FederatedTrainer {
   std::function<nn::Sequential()> model_factory_;
   EngineConfig config_;
   sim::LatencyModel latency_model_;
+  sim::FaultModel fault_model_;
   std::vector<sim::DeviceProfile> profiles_;
   std::vector<double> final_per_client_accuracy_;
   std::vector<float> final_parameters_;
   std::size_t upload_bytes_ = 0;
 };
+
+/// Server-side update validation: true when every element of `delta` is
+/// finite and (when max_norm > 0) its L2 norm is within max_norm. Both
+/// engines call this before aggregation so a corrupted or diverged client
+/// cannot poison the global model.
+bool update_is_valid(std::span<const float> delta, double max_norm);
 
 }  // namespace haccs::fl

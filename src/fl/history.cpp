@@ -54,6 +54,27 @@ std::vector<std::size_t> TrainingHistory::selection_counts(
   return counts;
 }
 
+std::size_t TrainingHistory::total_dispatched() const {
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.dispatched;
+  return total;
+}
+
+std::size_t TrainingHistory::total_wasted() const {
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.wasted();
+  return total;
+}
+
+std::size_t TrainingHistory::wasted_until_accuracy(double target) const {
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    total += r.wasted();
+    if (r.global_accuracy >= target) break;
+  }
+  return total;
+}
+
 std::string format_tta(double tta_seconds) {
   if (tta_seconds == kNeverReached) return "never";
   std::ostringstream os;

@@ -20,7 +20,20 @@ struct RoundRecord {
   double round_duration_s = 0.0; ///< straggler latency of this round
   double global_accuracy = 0.0;  ///< mean accuracy over all client test sets
   double global_loss = 0.0;
-  std::vector<std::size_t> selected;  ///< clients trained this round
+  std::vector<std::size_t> selected;  ///< clients whose updates aggregated
+
+  // Fault-layer accounting (all empty/zero on clean runs; `selected` keeps
+  // its pre-fault meaning so bias metrics stay comparable).
+  std::size_t dispatched = 0;    ///< clients sent the model this round
+  double deadline_s = 0.0;       ///< round deadline (0 = none)
+  std::vector<std::size_t> crashed;   ///< died mid-round
+  std::vector<std::size_t> late;      ///< missed the deadline
+  std::vector<std::size_t> rejected;  ///< update failed validation
+
+  /// Client-rounds of wasted work this round (dispatched but not aggregated).
+  std::size_t wasted() const {
+    return crashed.size() + late.size() + rejected.size();
+  }
 };
 
 class TrainingHistory {
@@ -47,6 +60,16 @@ class TrainingHistory {
 
   /// How many times each client id in [0, num_clients) was selected.
   std::vector<std::size_t> selection_counts(std::size_t num_clients) const;
+
+  /// Total client-rounds dispatched across the run.
+  std::size_t total_dispatched() const;
+
+  /// Total wasted client-rounds (crashed + late + rejected).
+  std::size_t total_wasted() const;
+
+  /// Wasted client-rounds accumulated up to (and including) the first round
+  /// whose accuracy reaches `target`; the full-run total if never reached.
+  std::size_t wasted_until_accuracy(double target) const;
 
  private:
   std::vector<RoundRecord> records_;

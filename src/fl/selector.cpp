@@ -9,6 +9,8 @@ void ClientSelector::report_result(std::size_t, double, std::size_t) {}
 void ClientSelector::report_update(std::size_t, std::span<const float>,
                                    std::size_t) {}
 
+void ClientSelector::report_failure(std::size_t, std::size_t, FailureKind) {}
+
 std::vector<std::size_t> available_ids(
     const std::vector<ClientRuntimeInfo>& clients) {
   std::vector<std::size_t> ids;

@@ -25,6 +25,14 @@ struct ClientRuntimeInfo {
   bool available = true;       ///< this epoch's dropout mask entry
 };
 
+/// Why a dispatched client failed to contribute to the round (fault layer,
+/// DESIGN.md "Fault model & degraded modes").
+enum class FailureKind {
+  Crash,          ///< died mid-round; no update arrived
+  Timeout,        ///< update arrived after the round deadline
+  CorruptUpdate,  ///< update arrived but failed validation (NaN/Inf/norm)
+};
+
 class ClientSelector {
  public:
   virtual ~ClientSelector() = default;
@@ -49,6 +57,14 @@ class ClientSelector {
   /// summary) consume this; the default discards it.
   virtual void report_update(std::size_t client_id,
                              std::span<const float> update, std::size_t epoch);
+
+  /// Reports that a dispatched client failed to deliver a usable update
+  /// (crash, deadline miss, or rejected corruption). Failure-aware
+  /// strategies react here — HACCS re-samples the failed device's cluster
+  /// and decays its intra-cluster priority, Oort applies a utility penalty,
+  /// TiFL refunds the tier credit. Default is a no-op.
+  virtual void report_failure(std::size_t client_id, std::size_t epoch,
+                              FailureKind kind);
 
   virtual std::string name() const = 0;
 };

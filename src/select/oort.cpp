@@ -22,6 +22,7 @@ void OortSelector::initialize(
   observed_loss_.assign(clients.size(),
                         std::numeric_limits<double>::quiet_NaN());
   last_round_.assign(clients.size(), 0);
+  reliability_.assign(clients.size(), 1.0);
 
   std::vector<double> latencies;
   latencies.reserve(clients.size());
@@ -37,6 +38,20 @@ void OortSelector::report_result(std::size_t client_id, double loss,
   if (client_id >= observed_loss_.size()) return;
   observed_loss_[client_id] = loss;
   last_round_[client_id] = epoch + 1;
+  // Successful delivery recovers half the reliability gap (1.0 stays 1.0
+  // exactly, so fault-free runs are unchanged).
+  reliability_[client_id] += 0.5 * (1.0 - reliability_[client_id]);
+}
+
+void OortSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
+                                  fl::FailureKind /*kind*/) {
+  if (client_id >= reliability_.size()) return;
+  reliability_[client_id] = std::max(
+      config_.min_reliability, reliability_[client_id] * config_.failure_factor);
+}
+
+double OortSelector::reliability_of(std::size_t client_id) const {
+  return client_id < reliability_.size() ? reliability_[client_id] : 1.0;
 }
 
 double OortSelector::utility(const fl::ClientRuntimeInfo& client,
@@ -54,7 +69,8 @@ double OortSelector::utility(const fl::ClientRuntimeInfo& client,
                    static_cast<double>(last_round_[client.id])) *
          static_cast<double>(client.num_samples);
   }
-  return u;
+  // Reliability penalty from reported mid-round failures (1.0 when clean).
+  return u * reliability_[client.id];
 }
 
 std::vector<std::size_t> OortSelector::select(

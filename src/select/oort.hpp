@@ -30,6 +30,11 @@ struct OortConfig {
   double exploration_decay = 0.98;
   /// Loss assumed for never-trained clients.
   double initial_loss = 2.302585;
+  /// Reliability multiplier applied on each reported failure (utility is
+  /// scaled by the client's accumulated reliability; successes recover it).
+  double failure_factor = 0.5;
+  /// Reliability floor so a flaky client keeps a nonzero utility.
+  double min_reliability = 1.0 / 64.0;
 };
 
 class OortSelector final : public fl::ClientSelector {
@@ -42,18 +47,25 @@ class OortSelector final : public fl::ClientSelector {
                                   std::size_t epoch, Rng& rng) override;
   void report_result(std::size_t client_id, double loss,
                      std::size_t epoch) override;
+  /// Failure-aware reaction: multiplicative utility penalty (Oort's own
+  /// reliability story), recovered gradually by later successes.
+  void report_failure(std::size_t client_id, std::size_t epoch,
+                      fl::FailureKind kind) override;
   std::string name() const override { return "Oort"; }
 
   /// Current utility of a client (exposed for tests).
   double utility(const fl::ClientRuntimeInfo& client, std::size_t epoch) const;
 
   double deadline() const { return deadline_s_; }
+  /// Reliability multiplier of a client (1 = never failed) — for tests.
+  double reliability_of(std::size_t client_id) const;
 
  private:
   OortConfig config_;
   double deadline_s_ = 0.0;
   std::vector<double> observed_loss_;     // NaN until first observation
   std::vector<std::size_t> last_round_;   // last participation epoch + 1
+  std::vector<double> reliability_;       // utility multiplier in (0, 1]
 };
 
 }  // namespace haccs::select

@@ -33,7 +33,8 @@ void TiflSelector::initialize(
   tier_of_.assign(n, 0);
   const double fair_share =
       static_cast<double>(config_.expected_rounds) / static_cast<double>(tiers);
-  for (auto& t : tiers_) t.credits = config_.credit_factor * fair_share;
+  initial_credits_ = config_.credit_factor * fair_share;
+  for (auto& t : tiers_) t.credits = initial_credits_;
 
   for (std::size_t rank = 0; rank < n; ++rank) {
     const std::size_t tier = std::min(rank * tiers / n, tiers - 1);
@@ -50,10 +51,23 @@ void TiflSelector::report_result(std::size_t client_id, double loss,
   ++tier.loss_count;
 }
 
+void TiflSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
+                                  fl::FailureKind /*kind*/) {
+  if (client_id >= tier_of_.size()) return;
+  // The round charged the chosen tier one credit for k clients' work; a
+  // client that never delivered refunds its 1/k share (spill-over clients
+  // refund their own tier).
+  auto& tier = tiers_[tier_of_[client_id]];
+  tier.credits = std::min(
+      initial_credits_,
+      tier.credits + 1.0 / static_cast<double>(std::max<std::size_t>(last_k_, 1)));
+}
+
 std::vector<std::size_t> TiflSelector::select(
     std::size_t k, const std::vector<fl::ClientRuntimeInfo>& clients,
     std::size_t /*epoch*/, Rng& rng) {
   if (tiers_.empty()) initialize(clients);
+  last_k_ = std::max<std::size_t>(k, 1);
 
   // Adaptive tier choice: probability proportional to average tier loss,
   // restricted to tiers with remaining credits and at least one available

@@ -33,11 +33,18 @@ class TiflSelector final : public fl::ClientSelector {
                                   std::size_t epoch, Rng& rng) override;
   void report_result(std::size_t client_id, double loss,
                      std::size_t epoch) override;
+  /// Failure-aware reaction: a failed client refunds its share (1/k of a
+  /// credit) to its tier — the tier should not be charged for work that
+  /// never landed.
+  void report_failure(std::size_t client_id, std::size_t epoch,
+                      fl::FailureKind kind) override;
   std::string name() const override { return "TiFL"; }
 
   /// Tier id per client (valid after initialize) — exposed for tests.
   const std::vector<std::size_t>& tier_of() const { return tier_of_; }
   std::size_t num_tiers() const { return tiers_.size(); }
+  /// Remaining credits of a tier — exposed for tests.
+  double tier_credits(std::size_t tier) const { return tiers_.at(tier).credits; }
 
  private:
   struct Tier {
@@ -55,6 +62,10 @@ class TiflSelector final : public fl::ClientSelector {
   TiflConfig config_;
   std::vector<Tier> tiers_;
   std::vector<std::size_t> tier_of_;
+  /// k of the most recent select() — sizes the per-client credit refund.
+  std::size_t last_k_ = 1;
+  /// Initial per-tier credit grant — refunds never exceed it.
+  double initial_credits_ = 0.0;
 };
 
 }  // namespace haccs::select

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite — once with
+# the default toolchain flags and once under ASan+UBSan (HACCS_SANITIZE).
+#
+# Usage: tools/check.sh [--skip-sanitize]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_sanitize=0
+[[ "${1:-}" == "--skip-sanitize" ]] && skip_sanitize=1
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier-1: default build =="
+run_suite "$repo/build"
+
+if [[ "$skip_sanitize" -eq 0 ]]; then
+  echo "== tier-1: ASan+UBSan build =="
+  run_suite "$repo/build-sanitize" -DHACCS_SANITIZE=address,undefined
+fi
+
+echo "== all checks passed =="
