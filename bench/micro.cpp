@@ -1,17 +1,21 @@
 // Substrate micro-benchmarks (google-benchmark): the kernels every
-// experiment leans on — GEMM, convolution, Hellinger distances, summary
-// computation, the Laplace mechanism, OPTICS, and device-profile sampling.
+// experiment leans on — the GEMM family (optimized and reference), both
+// convolution directions, full train steps, evaluation throughput, FedAvg
+// accumulation, Hellinger distances, summary computation, the Laplace
+// mechanism, OPTICS, and device-profile sampling.
 #include <benchmark/benchmark.h>
 
 #include "src/clustering/optics.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/data/partition.hpp"
+#include "src/fl/client.hpp"
 #include "src/nn/loss.hpp"
 #include "src/nn/model.hpp"
 #include "src/nn/optimizer.hpp"
 #include "src/sim/profile.hpp"
 #include "src/stats/privacy.hpp"
 #include "src/tensor/ops.hpp"
+#include "src/tensor/vecops.hpp"
 
 namespace haccs {
 namespace {
@@ -30,6 +34,48 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmBT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ops::gemm_bt(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBT)->Arg(64)->Arg(256);
+
+void BM_GemmAT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ops::gemm_at(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmAT)->Arg(64)->Arg(256);
+
+void BM_GemmReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ops::gemm_reference(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(256);
+
 void BM_Conv2dForward(benchmark::State& state) {
   const ops::Conv2dShape s{8, 1, 28, 28, 6, 5, 1, 2};
   Rng rng(2);
@@ -45,6 +91,28 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const ops::Conv2dShape s{8, 1, 28, 28, 6, 5, 1, 2};
+  Rng rng(2);
+  Tensor input({s.batch, s.in_channels, s.in_h, s.in_w});
+  Tensor weight({s.out_channels, s.in_channels, s.kernel, s.kernel});
+  Tensor grad_output({s.batch, s.out_channels, s.out_h(), s.out_w()});
+  Tensor grad_input({s.batch, s.in_channels, s.in_h, s.in_w});
+  Tensor grad_weight({s.out_channels, s.in_channels, s.kernel, s.kernel});
+  Tensor grad_bias({s.out_channels});
+  for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : weight.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : grad_output.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    grad_weight.fill(0.0f);
+    grad_bias.fill(0.0f);
+    ops::conv2d_backward_params(s, input, grad_output, grad_weight, grad_bias);
+    ops::conv2d_backward_input(s, grad_output, weight, grad_input);
+    benchmark::DoNotOptimize(grad_input.raw());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
 
 void BM_MlpTrainStep(benchmark::State& state) {
   Rng rng(3);
@@ -64,6 +132,57 @@ void BM_MlpTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlpTrainStep);
+
+void BM_Evaluation(benchmark::State& state) {
+  // Test-set evaluation throughput through the const inference path — the
+  // per-round evaluate_global cost in the engines.
+  data::SyntheticImageConfig gcfg = data::SyntheticImageConfig::femnist_like(10);
+  gcfg.height = 16;
+  gcfg.width = 16;
+  data::SyntheticImageGenerator gen(gcfg);
+  data::Dataset set({1, 16, 16}, 10);
+  Rng rng(9);
+  for (std::int64_t label = 0; label < 10; ++label) {
+    gen.fill(set, label, 64, rng);
+  }
+  nn::Sequential model = nn::make_cnn_mini(1, 16, 16, 10, rng);
+  for (auto _ : state) {
+    const auto r = fl::evaluate(model, set);
+    benchmark::DoNotOptimize(r.accuracy);
+  }
+  state.SetItemsProcessed(state.iterations() * set.size());
+}
+BENCHMARK(BM_Evaluation);
+
+void BM_FedAvgAccumulate(benchmark::State& state) {
+  // The server-side aggregation loop: weighted accumulation of K client
+  // updates into a double buffer plus the final divide.
+  const std::size_t params = static_cast<std::size_t>(state.range(0));
+  const std::size_t clients = 10;
+  Rng rng(10);
+  std::vector<std::vector<float>> updates(clients,
+                                          std::vector<float>(params));
+  for (auto& u : updates) {
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  }
+  std::vector<double> accumulated(params);
+  std::vector<float> global(params);
+  for (auto _ : state) {
+    std::fill(accumulated.begin(), accumulated.end(), 0.0);
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < clients; ++i) {
+      const double w = static_cast<double>(60 + i);
+      vec::accumulate_scaled(accumulated, updates[i], w);
+      total_weight += w;
+    }
+    for (std::size_t p = 0; p < params; ++p) {
+      global[p] = static_cast<float>(accumulated[p] / total_weight);
+    }
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(state.iterations() * clients * params);
+}
+BENCHMARK(BM_FedAvgAccumulate)->Arg(16384)->Arg(262144);
 
 void BM_Hellinger(benchmark::State& state) {
   const auto bins = static_cast<std::size_t>(state.range(0));

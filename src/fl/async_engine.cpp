@@ -7,6 +7,7 @@
 
 #include "src/common/error.hpp"
 #include "src/fl/engine.hpp"  // update_is_valid
+#include "src/tensor/vecops.hpp"
 
 namespace haccs::fl {
 
@@ -218,9 +219,7 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
         const double weight =
             static_cast<double>(dataset_.clients[update.client].train.size()) /
             std::pow(1.0 + staleness, config_.staleness_alpha);
-        for (std::size_t p = 0; p < accumulated.size(); ++p) {
-          accumulated[p] += weight * static_cast<double>(update.delta[p]);
-        }
+        vec::accumulate_scaled(accumulated, update.delta, weight);
         total_weight += weight;
         record.selected.push_back(update.client);
       }

@@ -50,14 +50,13 @@ LocalTrainResult train_local(nn::Sequential& model,
   return result;
 }
 
-EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
+EvalResult evaluate(const nn::Sequential& model, const data::Dataset& dataset,
                     std::size_t batch_size) {
   EvalResult result;
   if (dataset.empty()) return result;
   if (batch_size == 0) {
     throw std::invalid_argument("evaluate: zero batch size");
   }
-  model.set_training(false);
   double loss_sum = 0.0;
   std::size_t correct = 0;
   std::vector<std::size_t> indices(dataset.size());
@@ -69,12 +68,11 @@ EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
                                              end - start);
     const Tensor features = dataset.batch_features(batch);
     const auto labels = dataset.batch_labels(batch);
-    const Tensor logits = model.forward(features);
+    const Tensor logits = model.infer(features);
     const auto loss = nn::softmax_cross_entropy(logits, labels);
     loss_sum += loss.loss * static_cast<double>(batch.size());
     correct += loss.correct;
   }
-  model.set_training(true);
   result.samples = dataset.size();
   result.loss = loss_sum / static_cast<double>(dataset.size());
   result.accuracy =

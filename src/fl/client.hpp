@@ -41,9 +41,10 @@ struct EvalResult {
   std::size_t samples = 0;
 };
 
-/// Evaluates `model` on the full dataset (eval mode, no gradient updates).
-/// Returns zeros for an empty dataset.
-EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
+/// Evaluates `model` on the full dataset through the const inference path
+/// (no layer state is touched, so the same model instance can be evaluated
+/// from several threads at once). Returns zeros for an empty dataset.
+EvalResult evaluate(const nn::Sequential& model, const data::Dataset& dataset,
                     std::size_t batch_size = 128);
 
 }  // namespace haccs::fl

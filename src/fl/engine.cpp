@@ -8,6 +8,7 @@
 #include "src/common/error.hpp"
 #include "src/common/threadpool.hpp"
 #include "src/common/logging.hpp"
+#include "src/tensor/vecops.hpp"
 
 namespace haccs::fl {
 
@@ -99,11 +100,17 @@ FederatedTrainer::GlobalEval FederatedTrainer::evaluate_global(
   if (per_client) per_client->assign(dataset_.clients.size(), 0.0);
   // "The overall accuracy is the average test accuracy on all devices" —
   // every device counts equally, including those currently unavailable.
-  for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
-    const auto r = evaluate(model, dataset_.clients[i].test);
-    eval.accuracy += r.accuracy;
-    eval.loss += r.loss;
-    if (per_client) (*per_client)[i] = r.accuracy;
+  // Per-device evaluations are independent and run through the const
+  // inference path in parallel; the reduction below is serial in client
+  // order, so the totals do not depend on worker timing.
+  std::vector<EvalResult> results(dataset_.clients.size());
+  parallel_for(0, dataset_.clients.size(), [&](std::size_t i) {
+    results[i] = evaluate(model, dataset_.clients[i].test);
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    eval.accuracy += results[i].accuracy;
+    eval.loss += results[i].loss;
+    if (per_client) (*per_client)[i] = results[i].accuracy;
   }
   const auto n = static_cast<double>(dataset_.clients.size());
   eval.accuracy /= n;
@@ -263,9 +270,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           // global + dense(delta). Residual state is per-client, and each
           // client appears at most once per round, so this is race-free.
           std::vector<float> delta(updated.size());
-          for (std::size_t p = 0; p < updated.size(); ++p) {
-            delta[p] = updated[p] - global_params[p];
-          }
+          vec::diff(delta, updated, global_params);
           const auto compressed =
               compress_update(delta, config_.compression, residuals[id]);
           for (std::size_t p = 0; p < updated.size(); ++p) {
@@ -276,9 +281,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           // Wire-level corruption: mangle the delta the server receives
           // (client-side state, e.g. compression residuals, stays clean).
           std::vector<float> delta(updated.size());
-          for (std::size_t p = 0; p < updated.size(); ++p) {
-            delta[p] = updated[p] - global_params[p];
-          }
+          vec::diff(delta, updated, global_params);
           fault_model_.corrupt(faults[i], delta);
           for (std::size_t p = 0; p < updated.size(); ++p) {
             updated[p] = global_params[p] + delta[p];
@@ -316,9 +319,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         // Parameter delta: input to validation and gradient-direction
         // schedulers alike.
         std::vector<float> delta(updated.size());
-        for (std::size_t p = 0; p < updated.size(); ++p) {
-          delta[p] = updated[p] - global_params[p];
-        }
+        vec::diff(delta, updated, global_params);
         observed_times.push_back(eff_latency[i]);
         if (!update_is_valid(delta, config_.max_update_norm)) {
           HACCS_DEBUG << selector.name() << " epoch " << epoch
@@ -330,9 +331,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         }
         const auto weight =
             static_cast<double>(dataset_.clients[id].train.size());
-        for (std::size_t p = 0; p < updated.size(); ++p) {
-          accumulated[p] += weight * static_cast<double>(updated[p]);
-        }
+        vec::accumulate_scaled(accumulated, updated, weight);
         total_weight += weight;
         view[id].last_loss = results[i].average_loss;
         breakers[id].record_success();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/threadpool.hpp"
 #include "src/nn/loss.hpp"
 
 namespace haccs::fl {
@@ -77,7 +78,7 @@ void ConfusionMatrix::merge(const ConfusionMatrix& other) {
   }
 }
 
-ConfusionMatrix confusion_matrix(nn::Sequential& model,
+ConfusionMatrix confusion_matrix(const nn::Sequential& model,
                                  const data::Dataset& dataset,
                                  std::size_t batch_size) {
   if (batch_size == 0) {
@@ -85,24 +86,30 @@ ConfusionMatrix confusion_matrix(nn::Sequential& model,
   }
   ConfusionMatrix matrix(dataset.num_classes());
   if (dataset.empty()) return matrix;
-  model.set_training(false);
   std::vector<std::size_t> indices(dataset.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+  const std::size_t num_batches = (indices.size() + batch_size - 1) / batch_size;
+  // One matrix per batch, filled in parallel through the const inference
+  // path, then merged serially. Counts are integers, so the merge order
+  // cannot change the result.
+  std::vector<ConfusionMatrix> partial(num_batches,
+                                       ConfusionMatrix(dataset.num_classes()));
+  parallel_for(0, num_batches, [&](std::size_t bi) {
+    const std::size_t start = bi * batch_size;
     const std::size_t end = std::min(indices.size(), start + batch_size);
     const std::span<const std::size_t> batch(indices.data() + start,
                                              end - start);
-    const Tensor logits = model.forward(dataset.batch_features(batch));
+    const Tensor logits = model.infer(dataset.batch_features(batch));
     const auto labels = dataset.batch_labels(batch);
     const std::size_t c = logits.extent(1);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const float* row = logits.raw() + i * c;
       const auto pred = static_cast<std::int64_t>(
           std::max_element(row, row + c) - row);
-      matrix.add(labels[i], pred);
+      partial[bi].add(labels[i], pred);
     }
-  }
-  model.set_training(true);
+  });
+  for (const ConfusionMatrix& p : partial) matrix.merge(p);
   return matrix;
 }
 

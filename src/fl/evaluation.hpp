@@ -40,7 +40,10 @@ class ConfusionMatrix {
 };
 
 /// Evaluates `model` on `dataset` and returns the confusion matrix.
-ConfusionMatrix confusion_matrix(nn::Sequential& model,
+/// Batches run in parallel through the const inference path; each worker
+/// fills its own matrix and the integer counts are merged at the end, so the
+/// result does not depend on the worker count.
+ConfusionMatrix confusion_matrix(const nn::Sequential& model,
                                  const data::Dataset& dataset,
                                  std::size_t batch_size = 128);
 

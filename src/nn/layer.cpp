@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/tensor/vecops.hpp"
 
 namespace haccs::nn {
 
@@ -43,6 +44,21 @@ Tensor Dense::forward(const Tensor& input) {
                                 input.shape_string());
   }
   last_input_ = input;
+  const std::size_t n = input.extent(0);
+  Tensor out({n, out_});
+  ops::gemm_bt(input, weight_, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_[j];
+  }
+  return out;
+}
+
+Tensor Dense::infer(const Tensor& input) const {
+  if (input.rank() != 2 || input.extent(1) != in_) {
+    throw std::invalid_argument("Dense::infer: expected (N, " +
+                                std::to_string(in_) + "), got " +
+                                input.shape_string());
+  }
   const std::size_t n = input.extent(0);
   Tensor out({n, out_});
   ops::gemm_bt(input, weight_, out);
@@ -102,6 +118,20 @@ Tensor Conv2d::forward(const Tensor& input) {
   return out;
 }
 
+Tensor Conv2d::infer(const Tensor& input) const {
+  if (input.rank() != 4 || input.extent(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::infer: bad input " +
+                                input.shape_string());
+  }
+  const ops::Conv2dShape shape{input.extent(0),  in_channels_,
+                               input.extent(2),  input.extent(3),
+                               out_channels_,    kernel_,
+                               stride_,          padding_};
+  Tensor out({shape.batch, out_channels_, shape.out_h(), shape.out_w()});
+  ops::conv2d_forward(shape, input, weight_, bias_, out);
+  return out;
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   ops::conv2d_backward_params(last_shape_, last_input_, grad_output,
                               grad_weight_, grad_bias_);
@@ -129,6 +159,17 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   return out;
 }
 
+Tensor MaxPool2d::infer(const Tensor& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2d::infer: expected NCHW");
+  }
+  const ops::Pool2dShape shape{input.extent(0), input.extent(1),
+                               input.extent(2), input.extent(3), window_};
+  Tensor out({shape.batch, shape.channels, shape.out_h(), shape.out_w()});
+  ops::maxpool_forward_infer(shape, input, out);
+  return out;
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor grad_input({last_shape_.batch, last_shape_.channels, last_shape_.in_h,
                      last_shape_.in_w});
@@ -141,18 +182,20 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
 Tensor ReLU::forward(const Tensor& input) {
   last_input_ = input;
   Tensor out = input;
-  for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  vec::relu(out.data(), input.data());
+  return out;
+}
+
+Tensor ReLU::infer(const Tensor& input) const {
+  Tensor out = input;
+  vec::relu(out.data(), input.data());
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
   HACCS_CHECK_MSG(grad_output.same_shape(last_input_), "ReLU grad shape");
   Tensor grad_input = grad_output;
-  auto in = last_input_.data();
-  auto gi = grad_input.data();
-  for (std::size_t i = 0; i < gi.size(); ++i) {
-    if (in[i] <= 0.0f) gi[i] = 0.0f;
-  }
+  vec::relu_mask(grad_input.data(), last_input_.data());
   return grad_input;
 }
 
@@ -163,6 +206,14 @@ Tensor Flatten::forward(const Tensor& input) {
     throw std::invalid_argument("Flatten: expected rank >= 2");
   }
   last_shape_ = input.shape();
+  const std::size_t n = input.extent(0);
+  return input.reshaped({n, input.size() / n});
+}
+
+Tensor Flatten::infer(const Tensor& input) const {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2");
+  }
   const std::size_t n = input.extent(0);
   return input.reshaped({n, input.size() / n});
 }
@@ -193,6 +244,10 @@ Tensor Dropout::forward(const Tensor& input) {
     o[i] *= mask_[i];
   }
   return out;
+}
+
+Tensor Dropout::infer(const Tensor& input) const {
+  return input;  // inverted dropout is the identity at inference time
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

@@ -24,6 +24,12 @@ class Layer {
   virtual Tensor forward(const Tensor& input) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only forward: caches nothing and does not mutate the layer,
+  /// so a shared model can be evaluated from multiple threads concurrently.
+  /// Stochastic train-time behavior (dropout) is disabled regardless of the
+  /// training flag.
+  virtual Tensor infer(const Tensor& input) const = 0;
+
   /// Parameter / gradient tensors (paired by index); empty for stateless
   /// layers. Non-owning pointers — the layer retains ownership.
   virtual std::vector<Tensor*> parameters() { return {}; }
@@ -49,6 +55,7 @@ class Dense : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> gradients() override { return {&grad_weight_, &grad_bias_}; }
   std::string name() const override { return "Dense"; }
@@ -70,6 +77,7 @@ class Conv2d : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> gradients() override { return {&grad_weight_, &grad_bias_}; }
   std::string name() const override { return "Conv2d"; }
@@ -88,6 +96,7 @@ class MaxPool2d : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "MaxPool2d"; }
 
  private:
@@ -101,6 +110,7 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -112,6 +122,7 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -126,6 +137,7 @@ class Dropout : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "Dropout"; }
 
  private:

@@ -17,6 +17,12 @@ Tensor Sequential::forward(const Tensor& input) {
   return x;
 }
 
+Tensor Sequential::infer(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->infer(x);
+  return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

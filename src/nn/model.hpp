@@ -29,6 +29,11 @@ class Sequential {
   /// Returns the gradient with respect to the model input.
   Tensor backward(const Tensor& grad_output);
 
+  /// Inference-only forward pass: no layer state is touched, so a shared
+  /// model can be evaluated from multiple threads concurrently. Dropout is
+  /// always inactive on this path.
+  Tensor infer(const Tensor& input) const;
+
   void zero_grad();
   void set_training(bool training);
 

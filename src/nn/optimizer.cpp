@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/tensor/vecops.hpp"
 
 namespace haccs::nn {
 
@@ -37,18 +38,13 @@ void SgdOptimizer::step(Sequential& model) {
       auto pd = p.data();
       auto gd = g.data();
       if (mu == 0.0f) {
-        for (std::size_t i = 0; i < pd.size(); ++i) {
-          pd[i] -= lr * (gd[i] + wd * pd[i]);
-        }
+        vec::sgd_step(pd, gd, lr, wd);
         continue;
       }
       if (velocity_.size() <= buffer_index) velocity_.resize(buffer_index + 1);
       auto& v = velocity_[buffer_index];
       if (v.size() != pd.size()) v.assign(pd.size(), 0.0f);
-      for (std::size_t i = 0; i < pd.size(); ++i) {
-        v[i] = mu * v[i] + gd[i] + wd * pd[i];
-        pd[i] -= lr * v[i];
-      }
+      vec::sgd_momentum_step(pd, gd, v, lr, mu, wd);
     }
   }
 }

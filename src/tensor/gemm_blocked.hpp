@@ -1,0 +1,41 @@
+// Internal interface to the cache-blocked GEMM backends.
+//
+// The blocked kernel is compiled once per ISA level (portable baseline and,
+// on x86-64, AVX2+FMA) from the same source (gemm_kernels.inc); ops.cpp picks
+// one implementation per process at startup via CPUID. Both backends compute
+//
+//   C(m,n) (+)= A'(m,k) * B'(k,n)
+//
+// where A' and B' are strided views: A'(i,kk) = a[i*a_is + kk*a_ks] and
+// B'(kk,j) = b[kk*b_ks + j*b_js]. The three public GEMM variants (NN, NT, TN)
+// differ only in those strides, so they share one driver and one packed
+// micro-kernel.
+#pragma once
+
+#include <cstddef>
+
+namespace haccs::ops::detail {
+
+using BlockedGemmFn = void (*)(std::size_t m, std::size_t n, std::size_t k,
+                               const float* a, std::size_t a_is,
+                               std::size_t a_ks, const float* b,
+                               std::size_t b_ks, std::size_t b_js, float* c,
+                               bool accumulate);
+
+namespace portable {
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t a_is, std::size_t a_ks, const float* b,
+                  std::size_t b_ks, std::size_t b_js, float* c,
+                  bool accumulate);
+}  // namespace portable
+
+#if defined(HACCS_HAVE_AVX2_KERNELS)
+namespace avx2 {
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  std::size_t a_is, std::size_t a_ks, const float* b,
+                  std::size_t b_ks, std::size_t b_js, float* c,
+                  bool accumulate);
+}  // namespace avx2
+#endif
+
+}  // namespace haccs::ops::detail

@@ -1,0 +1,5 @@
+// Blocked GEMM backend compiled with -mavx2 -mfma (see tensor/CMakeLists).
+// Only ever called after a runtime __builtin_cpu_supports check in ops.cpp,
+// so building it into a binary that runs on older CPUs is safe.
+#define HACCS_KERNEL_NAMESPACE avx2
+#include "src/tensor/gemm_kernels.inc"

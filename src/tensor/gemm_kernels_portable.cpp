@@ -1,0 +1,5 @@
+// Blocked GEMM backend compiled with the build's default target flags.
+// Always present; the dispatcher falls back to it when the CPU lacks the
+// features the specialized backends need (or HACCS_PORTABLE_KERNELS is set).
+#define HACCS_KERNEL_NAMESPACE portable
+#include "src/tensor/gemm_kernels.inc"

@@ -1,11 +1,16 @@
 #include "src/tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/threadpool.hpp"
+#include "src/tensor/gemm_blocked.hpp"
 
 namespace haccs::ops {
 
@@ -30,9 +35,107 @@ void dispatch_rows(std::size_t m, Kernel&& kernel) {
   }
 }
 
+KernelBackend initial_backend() {
+  const char* env = std::getenv("HACCS_KERNEL_BACKEND");
+  if (env != nullptr && std::string_view(env) == "reference") {
+    return KernelBackend::kReference;
+  }
+  return KernelBackend::kOptimized;
+}
+
+std::atomic<KernelBackend> g_backend{initial_backend()};
+
+/// Resolved once per process: AVX2+FMA backend when the CPU supports it and
+/// HACCS_PORTABLE_KERNELS is not set, else the portable blocked backend.
+detail::BlockedGemmFn blocked_gemm_fn() {
+  static const detail::BlockedGemmFn fn = [] {
+#if defined(HACCS_HAVE_AVX2_KERNELS)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+        std::getenv("HACCS_PORTABLE_KERNELS") == nullptr) {
+      return detail::avx2::gemm_blocked;
+    }
+#endif
+    return detail::portable::gemm_blocked;
+  }();
+  return fn;
+}
+
+// Below this m*n*k volume the packing overhead of the blocked kernel is not
+// worth paying; small products run through plain loops instead.
+constexpr std::size_t kSmallGemmVolume = 4096;
+
+/// C(m,n) (+)= A(m,k) * B(k,n), all row-major contiguous.
+void gemm_raw(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate) {
+  if (m * n * k <= kSmallGemmVolume) {
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      if (!accumulate) std::fill(crow, crow + n, 0.0f);
+      const float* arow = a + i * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return;
+  }
+  blocked_gemm_fn()(m, n, k, a, /*a_is=*/k, /*a_ks=*/1, b, /*b_ks=*/n,
+                    /*b_js=*/1, c, accumulate);
+}
+
+/// C(m,n) (+)= A(m,k) * B(n,k)^T, all row-major contiguous.
+void gemm_bt_raw(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                 const float* b, float* c, bool accumulate) {
+  if (m * n * k <= kSmallGemmVolume) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = accumulate ? crow[j] : 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+    return;
+  }
+  blocked_gemm_fn()(m, n, k, a, /*a_is=*/k, /*a_ks=*/1, b, /*b_ks=*/1,
+                    /*b_js=*/k, c, accumulate);
+}
+
+/// C(m,n) (+)= A(k,m)^T * B(k,n), all row-major contiguous.
+void gemm_at_raw(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                 const float* b, float* c, bool accumulate) {
+  if (m * n * k <= kSmallGemmVolume) {
+    if (!accumulate) std::fill(c, c + m * n, 0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a + kk * m;
+      const float* brow = b + kk * n;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float aki = arow[i];
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+    return;
+  }
+  blocked_gemm_fn()(m, n, k, a, /*a_is=*/1, /*a_ks=*/m, b, /*b_ks=*/n,
+                    /*b_js=*/1, c, accumulate);
+}
+
 }  // namespace
 
-void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+void set_kernel_backend(KernelBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+KernelBackend kernel_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void gemm_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                    bool accumulate) {
   check_matrix(a, "A");
   check_matrix(b, "B");
   check_matrix(c, "C");
@@ -51,14 +154,31 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
     const float* arow = pa + i * k;
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float aik = arow[kk];
-      if (aik == 0.0f) continue;
       const float* brow = pb + kk * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   });
 }
 
-void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    gemm_reference(a, b, c, accumulate);
+    return;
+  }
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t m = a.extent(0), k = a.extent(1), n = b.extent(1);
+  if (b.extent(0) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm: shape mismatch " + a.shape_string() +
+                                " x " + b.shape_string() + " -> " +
+                                c.shape_string());
+  }
+  gemm_raw(m, n, k, a.raw(), b.raw(), c.raw(), accumulate);
+}
+
+void gemm_bt_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                       bool accumulate) {
   check_matrix(a, "A");
   check_matrix(b, "B");
   check_matrix(c, "C");
@@ -81,7 +201,23 @@ void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   });
 }
 
-void gemm_at(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    gemm_bt_reference(a, b, c, accumulate);
+    return;
+  }
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t m = a.extent(0), k = a.extent(1), n = b.extent(0);
+  if (b.extent(1) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm_bt: shape mismatch");
+  }
+  gemm_bt_raw(m, n, k, a.raw(), b.raw(), c.raw(), accumulate);
+}
+
+void gemm_at_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                       bool accumulate) {
   check_matrix(a, "A");
   check_matrix(b, "B");
   check_matrix(c, "C");
@@ -100,11 +236,25 @@ void gemm_at(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
     const float* brow = pb + kk * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float aki = arow[i];
-      if (aki == 0.0f) continue;
       float* crow = pc + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
     }
   }
+}
+
+void gemm_at(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    gemm_at_reference(a, b, c, accumulate);
+    return;
+  }
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::size_t k = a.extent(0), m = a.extent(1), n = b.extent(1);
+  if (b.extent(0) != k || c.extent(0) != m || c.extent(1) != n) {
+    throw std::invalid_argument("gemm_at: shape mismatch");
+  }
+  gemm_at_raw(m, n, k, a.raw(), b.raw(), c.raw(), accumulate);
 }
 
 namespace {
@@ -130,6 +280,12 @@ void check_conv_shapes(const Conv2dShape& s, const Tensor& input,
   if (bias.rank() != 1 || bias.extent(0) != s.out_channels) {
     throw std::invalid_argument("conv2d: bias shape mismatch");
   }
+}
+
+// The GEMM path wins once the patch matrix has real volume; tiny kernels on
+// tiny images are faster through the direct loops (no packing).
+bool conv_gemm_pays_off(const Conv2dShape& s) {
+  return s.in_channels * s.kernel * s.kernel * s.out_h() * s.out_w() >= 4096;
 }
 
 }  // namespace
@@ -168,44 +324,69 @@ void im2col(const Conv2dShape& s, const float* sample, float* columns) {
   }
 }
 
+void col2im(const Conv2dShape& s, const float* columns, float* sample_grad) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t out_plane = oh * ow;
+  const std::size_t in_plane = s.in_h * s.in_w;
+  std::size_t row = 0;
+  for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
+    float* grad_c = sample_grad + ci * in_plane;
+    for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < s.kernel; ++kx, ++row) {
+        const float* col_row = columns + row * out_plane;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * s.stride + ky) -
+              static_cast<std::ptrdiff_t>(s.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * s.stride + kx) -
+                static_cast<std::ptrdiff_t>(s.padding);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(s.in_w)) continue;
+            grad_c[iy * static_cast<std::ptrdiff_t>(s.in_w) + ix] +=
+                col_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
 void conv2d_forward_im2col(const Conv2dShape& s, const Tensor& input,
                            const Tensor& weight, const Tensor& bias,
                            Tensor& output) {
   check_conv_shapes(s, input, weight, bias);
-  const std::size_t oh = s.out_h(), ow = s.out_w();
-  const std::size_t out_plane = oh * ow;
+  const std::size_t out_plane = s.out_h() * s.out_w();
   const std::size_t patch = s.in_channels * s.kernel * s.kernel;
   if (output.size() != s.batch * s.out_channels * out_plane) {
     throw std::invalid_argument("conv2d: output shape mismatch");
   }
-  // Weight as (Cout, patch) and columns as (patch, out_plane):
-  // output_n = W * columns + bias.
-  const Tensor weight2d = weight.reshaped({s.out_channels, patch});
+  // Weight viewed flat as (Cout, patch), columns as (patch, out_plane):
+  // output_n = W * columns + bias. Column scratch is per-thread and reused
+  // across samples and calls (no per-sample allocation).
+  const float* w = weight.raw();
   const float* b = bias.raw();
+  const float* in = input.raw();
+  float* out = output.raw();
   dispatch_rows(s.batch, [&](std::size_t n) {
-    Tensor columns({patch, out_plane});
-    im2col(s, input.raw() + n * s.in_channels * s.in_h * s.in_w,
-           columns.raw());
-    Tensor out_n({s.out_channels, out_plane});
-    gemm(weight2d, columns, out_n);
-    float* dst = output.raw() + n * s.out_channels * out_plane;
+    thread_local std::vector<float> cols;
+    cols.resize(patch * out_plane);
+    im2col(s, in + n * s.in_channels * s.in_h * s.in_w, cols.data());
+    float* dst = out + n * s.out_channels * out_plane;
+    gemm_raw(s.out_channels, out_plane, patch, w, cols.data(), dst,
+             /*accumulate=*/false);
     for (std::size_t co = 0; co < s.out_channels; ++co) {
-      const float* src = out_n.raw() + co * out_plane;
+      float* drow = dst + co * out_plane;
       const float bias_c = b[co];
-      for (std::size_t i = 0; i < out_plane; ++i) {
-        dst[co * out_plane + i] = src[i] + bias_c;
-      }
+      for (std::size_t i = 0; i < out_plane; ++i) drow[i] += bias_c;
     }
   });
 }
 
 void conv2d_forward(const Conv2dShape& s, const Tensor& input,
                     const Tensor& weight, const Tensor& bias, Tensor& output) {
-  // The GEMM path wins once the patch matrix has real volume; tiny kernels
-  // on tiny images are faster through the direct loops (no packing).
-  const std::size_t work =
-      s.in_channels * s.kernel * s.kernel * s.out_h() * s.out_w();
-  if (work >= 4096) {
+  if (kernel_backend() == KernelBackend::kOptimized && conv_gemm_pays_off(s)) {
     conv2d_forward_im2col(s, input, weight, bias, output);
   } else {
     conv2d_forward_direct(s, input, weight, bias, output);
@@ -266,6 +447,41 @@ void conv2d_forward_direct(const Conv2dShape& s, const Tensor& input,
 
 void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
                            const Tensor& weight, Tensor& grad_input) {
+  if (kernel_backend() == KernelBackend::kOptimized && conv_gemm_pays_off(s)) {
+    conv2d_backward_input_im2col(s, grad_output, weight, grad_input);
+  } else {
+    conv2d_backward_input_direct(s, grad_output, weight, grad_input);
+  }
+}
+
+void conv2d_backward_input_im2col(const Conv2dShape& s,
+                                  const Tensor& grad_output,
+                                  const Tensor& weight, Tensor& grad_input) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  HACCS_CHECK_MSG(grad_output.rank() == 4 && grad_output.extent(2) == oh &&
+                      grad_output.extent(3) == ow,
+                  "conv2d_backward_input: grad_output shape");
+  const std::size_t out_plane = oh * ow;
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t patch = s.in_channels * s.kernel * s.kernel;
+  grad_input.fill(0.0f);
+  const float* go = grad_output.raw();
+  const float* w = weight.raw();  // flat (Cout, patch)
+  float* gi = grad_input.raw();
+  // Per sample: dcols(patch, out_plane) = W^T * dY_n, then scatter back.
+  dispatch_rows(s.batch, [&](std::size_t n) {
+    thread_local std::vector<float> dcols;
+    dcols.resize(patch * out_plane);
+    gemm_at_raw(patch, out_plane, s.out_channels, w,
+                go + n * s.out_channels * out_plane, dcols.data(),
+                /*accumulate=*/false);
+    col2im(s, dcols.data(), gi + n * s.in_channels * in_plane);
+  });
+}
+
+void conv2d_backward_input_direct(const Conv2dShape& s,
+                                  const Tensor& grad_output,
+                                  const Tensor& weight, Tensor& grad_input) {
   const std::size_t oh = s.out_h(), ow = s.out_w();
   HACCS_CHECK_MSG(grad_output.rank() == 4 && grad_output.extent(2) == oh &&
                       grad_output.extent(3) == ow,
@@ -285,7 +501,6 @@ void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
       for (std::size_t y = 0; y < oh; ++y) {
         for (std::size_t x = 0; x < ow; ++x) {
           const float g = go_c[y * ow + x];
-          if (g == 0.0f) continue;
           for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
             float* gi_c = gi_n + ci * in_plane;
             const float* w_c =
@@ -314,6 +529,49 @@ void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
 void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
                             const Tensor& grad_output, Tensor& grad_weight,
                             Tensor& grad_bias) {
+  if (kernel_backend() == KernelBackend::kOptimized && conv_gemm_pays_off(s)) {
+    conv2d_backward_params_im2col(s, input, grad_output, grad_weight,
+                                  grad_bias);
+  } else {
+    conv2d_backward_params_direct(s, input, grad_output, grad_weight,
+                                  grad_bias);
+  }
+}
+
+void conv2d_backward_params_im2col(const Conv2dShape& s, const Tensor& input,
+                                   const Tensor& grad_output,
+                                   Tensor& grad_weight, Tensor& grad_bias) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t out_plane = oh * ow;
+  const std::size_t in_plane = s.in_h * s.in_w;
+  const std::size_t patch = s.in_channels * s.kernel * s.kernel;
+  const float* in = input.raw();
+  const float* go = grad_output.raw();
+  float* gw = grad_weight.raw();  // flat (Cout, patch)
+  float* gb = grad_bias.raw();
+  // Serial over batch: the gradient accumulators are shared across samples
+  // and the per-element accumulation order must not depend on thread count.
+  // The per-sample GEMM itself may still parallelize over row panels.
+  thread_local std::vector<float> cols;
+  cols.resize(patch * out_plane);
+  for (std::size_t n = 0; n < s.batch; ++n) {
+    im2col(s, in + n * s.in_channels * in_plane, cols.data());
+    const float* go_n = go + n * s.out_channels * out_plane;
+    // dW(Cout, patch) += dY_n(Cout, out_plane) * cols^T(out_plane, patch).
+    gemm_bt_raw(s.out_channels, patch, out_plane, go_n, cols.data(), gw,
+                /*accumulate=*/true);
+    for (std::size_t co = 0; co < s.out_channels; ++co) {
+      const float* go_c = go_n + co * out_plane;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < out_plane; ++i) acc += go_c[i];
+      gb[co] += acc;
+    }
+  }
+}
+
+void conv2d_backward_params_direct(const Conv2dShape& s, const Tensor& input,
+                                   const Tensor& grad_output,
+                                   Tensor& grad_weight, Tensor& grad_bias) {
   const std::size_t oh = s.out_h(), ow = s.out_w();
   const float* in = input.raw();
   const float* go = grad_output.raw();
@@ -331,7 +589,6 @@ void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
       for (std::size_t y = 0; y < oh; ++y) {
         for (std::size_t x = 0; x < ow; ++x) {
           const float g = go_c[y * ow + x];
-          if (g == 0.0f) continue;
           gb[co] += g;
           for (std::size_t ci = 0; ci < s.in_channels; ++ci) {
             const float* in_c = in_n + ci * in_plane;
@@ -357,15 +614,18 @@ void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
   }
 }
 
-void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
-                     std::vector<std::size_t>& argmax) {
+namespace {
+
+template <bool RecordArgmax>
+void maxpool_forward_impl(const Pool2dShape& s, const Tensor& input,
+                          Tensor& output, std::vector<std::size_t>* argmax) {
   HACCS_CHECK_MSG(s.window > 0 && s.in_h >= s.window && s.in_w >= s.window,
                   "maxpool: bad window");
   const std::size_t oh = s.out_h(), ow = s.out_w();
   if (output.size() != s.batch * s.channels * oh * ow) {
     throw std::invalid_argument("maxpool: output shape mismatch");
   }
-  argmax.resize(output.size());
+  if constexpr (RecordArgmax) argmax->resize(output.size());
   const float* in = input.raw();
   float* out = output.raw();
   const std::size_t in_plane = s.in_h * s.in_w;
@@ -391,11 +651,25 @@ void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
             }
           }
           out[out_base + y * ow + x] = best;
-          argmax[out_base + y * ow + x] = best_idx;
+          if constexpr (RecordArgmax) {
+            (*argmax)[out_base + y * ow + x] = best_idx;
+          }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
+                     std::vector<std::size_t>& argmax) {
+  maxpool_forward_impl<true>(s, input, output, &argmax);
+}
+
+void maxpool_forward_infer(const Pool2dShape& s, const Tensor& input,
+                           Tensor& output) {
+  maxpool_forward_impl<false>(s, input, output, nullptr);
 }
 
 void maxpool_backward(const Pool2dShape& s, const Tensor& grad_output,

@@ -1,10 +1,16 @@
 // Tensor kernels: GEMM family, 2-D convolution, and max-pooling.
 //
-// These are the compute primitives behind the neural-network layers. GEMM is
-// cache-blocked and parallelized over row blocks with parallel_for; the
-// convolution kernels are direct loops (the models in this repository use
-// small 5x5 kernels on small images, where im2col's packing overhead does not
-// pay off on a single core).
+// These are the compute primitives behind the neural-network layers. The
+// GEMM family (NN / NT / TN) runs through one cache-blocked, packing,
+// register-tiled kernel (MC/KC/NC tiling; see DESIGN.md §"Compute kernels")
+// parallelized over row panels with parallel_for, with an AVX2+FMA
+// micro-kernel selected at runtime on CPUs that support it. Convolutions use
+// the im2col/col2im + GEMM formulation in both directions once the patch
+// matrix is large enough to amortize packing, and direct loops below that.
+// The straightforward seed implementations are retained as `*_reference` /
+// `*_direct` kernels: they define the semantics the optimized paths are
+// property-tested against, and `set_kernel_backend(KernelBackend::kReference)`
+// routes every dispatching entry point through them at runtime.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +18,18 @@
 #include "src/tensor/tensor.hpp"
 
 namespace haccs::ops {
+
+/// Which implementations the dispatching kernels (gemm / conv2d_*) use.
+/// kOptimized (default) picks the blocked/packed paths; kReference forces the
+/// retained seed kernels everywhere — for equivalence tests and debugging.
+enum class KernelBackend { kOptimized, kReference };
+
+/// Process-wide backend switch (atomic; intended for tests, not hot paths).
+/// Initial value honors HACCS_KERNEL_BACKEND=reference; the environment
+/// variable HACCS_PORTABLE_KERNELS additionally forces the non-AVX2 blocked
+/// path within kOptimized.
+void set_kernel_backend(KernelBackend backend);
+KernelBackend kernel_backend();
 
 /// C = A(m,k) * B(k,n). Shapes are validated; C is resized by the caller
 /// passing a correctly-shaped tensor. `accumulate == false` overwrites C.
@@ -24,6 +42,16 @@ void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c,
 /// C = A(k,m)^T * B(k,n) -> (m,n).
 void gemm_at(const Tensor& a, const Tensor& b, Tensor& c,
              bool accumulate = false);
+
+/// Reference GEMM kernels: the plain loop nests the blocked implementations
+/// are tested against. Numerically these accumulate in a different order
+/// than the blocked kernels, so agreement is tolerance-bounded, not bitwise.
+void gemm_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                    bool accumulate = false);
+void gemm_bt_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                       bool accumulate = false);
+void gemm_at_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                       bool accumulate = false);
 
 struct Conv2dShape {
   std::size_t batch;
@@ -53,8 +81,7 @@ void conv2d_forward_direct(const Conv2dShape& s, const Tensor& input,
 
 /// im2col + GEMM forward convolution. Produces bit-different but numerically
 /// equivalent results to the direct path (same multiply/add tree per output
-/// up to float reassociation by GEMM row order; in practice identical for
-/// the accumulation orders used here).
+/// up to float reassociation by GEMM accumulation order).
 void conv2d_forward_im2col(const Conv2dShape& s, const Tensor& input,
                            const Tensor& weight, const Tensor& bias,
                            Tensor& output);
@@ -63,16 +90,43 @@ void conv2d_forward_im2col(const Conv2dShape& s, const Tensor& input,
 /// `sample` points at the (Cin, H, W) block; `columns` must be presized.
 void im2col(const Conv2dShape& s, const float* sample, float* columns);
 
+/// Scatter-adds a (Cin*K*K, Hout*Wout) column matrix back onto one sample's
+/// (Cin, H, W) gradient block (the adjoint of im2col). `sample_grad` must be
+/// zeroed by the caller before the first accumulation.
+void col2im(const Conv2dShape& s, const float* columns, float* sample_grad);
+
 /// Gradient w.r.t. input. grad_output: (N, Cout, Hout, Wout) ->
-/// grad_input: (N, Cin, H, W), overwritten.
+/// grad_input: (N, Cin, H, W), overwritten. Dispatches between the
+/// col2im+GEMM path and the direct loops like the forward pass.
 void conv2d_backward_input(const Conv2dShape& s, const Tensor& grad_output,
                            const Tensor& weight, Tensor& grad_input);
 
+/// Direct-loop input gradient (reference semantics).
+void conv2d_backward_input_direct(const Conv2dShape& s,
+                                  const Tensor& grad_output,
+                                  const Tensor& weight, Tensor& grad_input);
+
+/// col2im + GEMM input gradient: dcols = W^T * dY per sample, then col2im.
+void conv2d_backward_input_im2col(const Conv2dShape& s,
+                                  const Tensor& grad_output,
+                                  const Tensor& weight, Tensor& grad_input);
+
 /// Gradients w.r.t. weight and bias, *accumulated* into grad_weight /
-/// grad_bias (caller zeroes them at the start of a batch).
+/// grad_bias (caller zeroes them at the start of a batch). Dispatches
+/// between the im2col+GEMM path and the direct loops.
 void conv2d_backward_params(const Conv2dShape& s, const Tensor& input,
                             const Tensor& grad_output, Tensor& grad_weight,
                             Tensor& grad_bias);
+
+/// Direct-loop parameter gradients (reference semantics).
+void conv2d_backward_params_direct(const Conv2dShape& s, const Tensor& input,
+                                   const Tensor& grad_output,
+                                   Tensor& grad_weight, Tensor& grad_bias);
+
+/// im2col + GEMM parameter gradients: dW += dY * cols^T per sample.
+void conv2d_backward_params_im2col(const Conv2dShape& s, const Tensor& input,
+                                   const Tensor& grad_output,
+                                   Tensor& grad_weight, Tensor& grad_bias);
 
 struct Pool2dShape {
   std::size_t batch;
@@ -89,6 +143,10 @@ struct Pool2dShape {
 /// the backward pass. output/argmax: (N, C, Hout, Wout)-sized.
 void maxpool_forward(const Pool2dShape& s, const Tensor& input, Tensor& output,
                      std::vector<std::size_t>& argmax);
+
+/// Max pooling without recording argmax — the inference path.
+void maxpool_forward_infer(const Pool2dShape& s, const Tensor& input,
+                           Tensor& output);
 
 /// Scatter grad_output back through the recorded argmax indices;
 /// grad_input is overwritten.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/tensor/vecops.hpp"
 
 namespace haccs {
 
@@ -100,9 +101,7 @@ float Tensor::max() const {
 }
 
 double Tensor::squared_norm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return acc;
+  return vec::squared_norm(std::span<const float>(data_));
 }
 
 std::string Tensor::shape_string() const {
@@ -118,26 +117,24 @@ std::string Tensor::shape_string() const {
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   HACCS_CHECK_MSG(same_shape(other), "Tensor += shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  vec::add(data_, other.data_);
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   HACCS_CHECK_MSG(same_shape(other), "Tensor -= shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  vec::sub(data_, other.data_);
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-  for (float& v : data_) v *= scalar;
+  vec::scale(data_, scalar);
   return *this;
 }
 
 void Tensor::add_scaled(const Tensor& other, float scalar) {
   HACCS_CHECK_MSG(same_shape(other), "Tensor::add_scaled shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scalar * other.data_[i];
-  }
+  vec::axpy(data_, other.data_, scalar);
 }
 
 }  // namespace haccs

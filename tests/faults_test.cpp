@@ -417,6 +417,12 @@ const std::vector<PinnedRecord> kPinnedAsync = {
 };
 
 TEST(EngineFaults, DefaultPathBitIdenticalToPrePRPinnedRun) {
+  // The pinned doubles were captured before the blocked/packed compute
+  // kernels landed. Those kernels reassociate float accumulation (covered by
+  // their own tolerance-bounded equivalence tests); the reference backend
+  // retains the seed kernels' exact accumulation order, so it is the path
+  // that must stay bit-identical to the pre-PR engine.
+  ops::set_kernel_backend(ops::KernelBackend::kReference);
   const auto fed = make_fed();
   {
     fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
@@ -461,6 +467,7 @@ TEST(EngineFaults, DefaultPathBitIdenticalToPrePRPinnedRun) {
       EXPECT_EQ(r.wasted(), 0u);
     }
   }
+  ops::set_kernel_backend(ops::KernelBackend::kOptimized);
 }
 
 TEST(EngineFaults, RoundRecordAccountingIsConsistent) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner: builds the Release tree and runs the micro
+# benchmark suite with JSON output, producing the tracked perf baseline.
+#
+# Usage: tools/bench.sh [output.json] [--filter=REGEX]
+#
+#   output.json   where to write the google-benchmark JSON
+#                 (default: BENCH_kernels.json at the repo root — the
+#                 committed baseline; regenerate it when kernels change and
+#                 commit the diff alongside the change that caused it)
+#   --filter=RE   restrict to benchmarks matching RE (default: the compute
+#                 kernels — GEMM family, conv, train step, evaluation,
+#                 FedAvg accumulation)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+out="$repo/BENCH_kernels.json"
+filter='BM_Gemm|BM_Conv2d|BM_MlpTrainStep|BM_Evaluation|BM_FedAvgAccumulate'
+for arg in "$@"; do
+  case "$arg" in
+    --filter=*) filter="${arg#--filter=}" ;;
+    *) out="$arg" ;;
+  esac
+done
+
+cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build" -j "$jobs" --target micro
+
+"$repo/build/bench/micro" \
+  --benchmark_filter="$filter" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $out"

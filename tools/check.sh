@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the test suite — once with
 # the default toolchain flags and once under ASan+UBSan (HACCS_SANITIZE).
+# The sanitizer pass additionally re-runs the kernel equivalence tests with a
+# raised randomized-iteration count, so the packed GEMM edge tiles and
+# im2col/col2im scatter paths get deep out-of-bounds/UB coverage.
 #
 # Usage: tools/check.sh [--skip-sanitize]
 set -euo pipefail
@@ -24,6 +27,14 @@ run_suite "$repo/build"
 if [[ "$skip_sanitize" -eq 0 ]]; then
   echo "== tier-1: ASan+UBSan build =="
   run_suite "$repo/build-sanitize" -DHACCS_SANITIZE=address,undefined
+
+  echo "== kernel equivalence under ASan+UBSan (extended iterations) =="
+  HACCS_KERNEL_TEST_ITERS=150 \
+    "$repo/build-sanitize/tests/haccs_tests" --gtest_filter='Kernels.*'
+  # Same sweep through the portable blocked backend (the AVX2 path is what
+  # the CPU dispatch normally picks, so force the fallback explicitly).
+  HACCS_KERNEL_TEST_ITERS=150 HACCS_PORTABLE_KERNELS=1 \
+    "$repo/build-sanitize/tests/haccs_tests" --gtest_filter='Kernels.*'
 fi
 
 echo "== all checks passed =="
