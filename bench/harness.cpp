@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/common/logging.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/obs.hpp"
 
 namespace haccs::bench {
 
@@ -99,6 +101,17 @@ void ExperimentConfig::apply_flags(const Flags& flags) {
   classes = static_cast<std::size_t>(
       flags.get_int("classes", static_cast<std::int64_t>(classes)));
   noise_scale = flags.get_double("noise-scale", noise_scale);
+
+  // Telemetry flags are shared by every binary that uses the harness.
+  // obs::configure is a no-op (all pillars stay disabled) when no path is
+  // given, so the default run carries only a relaxed atomic load per probe.
+  const std::string level = flags.get_string("log-level", "");
+  if (!level.empty()) set_log_level(parse_log_level(level));
+  obs::Options obs_options;
+  obs_options.trace_path = flags.get_string("trace", "");
+  obs_options.metrics_path = flags.get_string("metrics", "");
+  obs_options.events_path = flags.get_string("events", "");
+  obs::configure(obs_options);
 }
 
 fl::TrainingHistory run_strategy(const std::string& name,

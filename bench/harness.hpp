@@ -53,7 +53,12 @@ struct ExperimentConfig {
   fl::EngineConfig make_engine_config(const data::FederatedDataset& fed) const;
 
   /// Reads the standard sweep flags (--dataset, --full, --rounds, --seed,
-  /// --clients, --per-round).
+  /// --clients, --per-round) plus the telemetry flags shared by every
+  /// binary that links the harness: --trace=FILE (Chrome trace JSON),
+  /// --metrics=FILE (metrics snapshot JSON), --events=FILE (per-round
+  /// JSONL), --log-level=error|warn|info|debug. Telemetry files are
+  /// flushed automatically at process exit (obs::configure registers an
+  /// atexit hook), so bench mains need no explicit teardown.
   void apply_flags(const Flags& flags);
 
   /// Partition config with the experiment's client counts, sample ranges,

@@ -3,12 +3,15 @@
 #include <deque>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
+
 namespace haccs::clustering {
 
 std::vector<int> dbscan(const DistanceMatrix& distances,
                         const DbscanConfig& config) {
   if (config.eps < 0.0) throw std::invalid_argument("dbscan: eps < 0");
   if (config.min_pts == 0) throw std::invalid_argument("dbscan: min_pts == 0");
+  obs::Span span("dbscan", "clustering");
   const std::size_t n = distances.size();
   constexpr int kUnvisited = -2;
   constexpr int kNoise = -1;

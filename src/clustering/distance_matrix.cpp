@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/common/threadpool.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::clustering {
 
@@ -15,6 +16,7 @@ DistanceMatrix DistanceMatrix::build(
     std::size_t n,
     const std::function<double(std::size_t, std::size_t)>& distance) {
   DistanceMatrix m(n);
+  obs::Span span("distance_matrix", "clustering");
   parallel_for(0, n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double d = distance(i, j);

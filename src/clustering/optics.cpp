@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::clustering {
 
@@ -19,6 +20,7 @@ std::vector<double> OpticsResult::reachability_plot() const {
 OpticsResult optics(const DistanceMatrix& distances,
                     const OpticsConfig& config) {
   if (config.min_pts == 0) throw std::invalid_argument("optics: min_pts == 0");
+  obs::Span span("optics", "clustering");
   const std::size_t n = distances.size();
   OpticsResult result;
   result.ordering.reserve(n);

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 #include <stdexcept>
+
+#include "src/obs/obs.hpp"
 
 namespace haccs {
 
@@ -42,8 +46,25 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC timestamp with millisecond precision, then the level tag
+  // and the small dense thread id obs hands out (the same id trace exports
+  // use, so a log line can be matched to its trace lane).
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch = now.time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      since_epoch)
+                      .count() %
+                  1000;
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "%s [%s] [t%02u] %s\n", stamp, level_tag(level),
+               obs::thread_id(), message.c_str());
 }
 }  // namespace detail
 

@@ -3,6 +3,10 @@
 // Benches and examples narrate progress at Info level; the FL round engine
 // logs per-round details at Debug. The level is process-global and defaults
 // to Info; tests set it to Warn to keep ctest output clean.
+//
+// Each line is prefixed with an ISO-8601 UTC timestamp, the level tag, and
+// the obs thread id ("2026-08-05T12:34:56.789Z [INFO ] [t00] ..."), so log
+// lines line up with trace lanes and run events from the same process.
 #pragma once
 
 #include <sstream>

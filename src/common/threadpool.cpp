@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <exception>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+
 namespace haccs {
 
 namespace {
@@ -10,12 +13,29 @@ namespace {
 /// from inside a task run inline instead of re-entering the queue (blocking
 /// a worker on the queue it is supposed to drain can deadlock the pool).
 thread_local bool t_inside_pool_worker = false;
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("threadpool_queue_depth");
+  return gauge;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("threadpool_tasks_total");
+  return counter;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Register with the trace thread registry up front so trace lanes and
+      // log lines carry stable worker names even for pre-enable threads.
+      obs::set_thread_name("worker-" + std::to_string(i + 1));
+      worker_loop();
+    });
   }
 }
 
@@ -35,9 +55,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     wrapped();  // inline mode
     return fut;
   }
+  tasks_counter().inc();
   {
     std::lock_guard lock(mutex_);
     queue_.push(std::move(wrapped));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -60,6 +82,7 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
     t_inside_pool_worker = true;
     task();  // exceptions are captured by the packaged_task's future

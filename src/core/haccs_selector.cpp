@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::core {
 
@@ -31,6 +33,8 @@ std::string HaccsSelector::name() const {
 }
 
 void HaccsSelector::recluster(const data::FederatedDataset& dataset) {
+  obs::Span span("recluster", "clustering");
+  obs::Registry::global().counter("recluster_total").inc();
   build_clusters(cluster_clients(dataset, config_));
 }
 
@@ -67,6 +71,9 @@ void HaccsSelector::build_clusters(std::vector<int> raw_labels) {
       cluster_of_[member] = static_cast<int>(c);
     }
   }
+  obs::Registry::global()
+      .gauge("haccs_clusters")
+      .set(static_cast<double>(clusters_.size()));
 }
 
 void HaccsSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::core {
 
@@ -49,6 +50,7 @@ double ClientSummary::distance(const ClientSummary& a, const ClientSummary& b,
 
 std::vector<ClientSummary> compute_summaries(
     const data::FederatedDataset& dataset, const HaccsConfig& config) {
+  obs::Span span("compute_summaries", "clustering");
   std::vector<ClientSummary> summaries;
   summaries.reserve(dataset.clients.size());
   Rng noise_root(config.privacy_seed);
@@ -148,6 +150,7 @@ std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
 
 std::vector<int> cluster_clients(const data::FederatedDataset& dataset,
                                  const HaccsConfig& config) {
+  obs::Span span("cluster_clients", "clustering");
   const auto summaries = compute_summaries(dataset, config);
   const auto distances = summary_distances(summaries, config.response_distance);
   return cluster_distances(distances, config);

@@ -7,9 +7,40 @@
 
 #include "src/common/error.hpp"
 #include "src/fl/engine.hpp"  // update_is_valid
+#include "src/obs/events.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/tensor/vecops.hpp"
 
 namespace haccs::fl {
+
+namespace {
+/// Async-engine telemetry. Counter names are shared with the synchronous
+/// engine where the semantics line up (rounds_total counts aggregations
+/// here); async-only instruments get their own names.
+struct AsyncMetrics {
+  obs::Counter& rounds = obs::Registry::global().counter("rounds_total");
+  obs::Counter& dispatched =
+      obs::Registry::global().counter("clients_dispatched_total");
+  obs::Counter& crashed =
+      obs::Registry::global().counter("clients_crashed_total");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("updates_rejected_total");
+  obs::Counter& evaluations =
+      obs::Registry::global().counter("evaluations_total");
+  obs::Histogram& train_ms =
+      obs::Registry::global().histogram("local_train_wall_ms");
+  obs::Histogram& staleness =
+      obs::Registry::global().histogram("async_update_staleness",
+                                        {0, 1, 2, 4, 8, 16, 32, 64});
+
+  static AsyncMetrics& get() {
+    static AsyncMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace
 
 AsyncFederatedTrainer::AsyncFederatedTrainer(
     const data::FederatedDataset& dataset,
@@ -114,9 +145,15 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
   double now = 0.0;
   std::uint64_t sequence = 0;
 
+  AsyncMetrics& metrics = AsyncMetrics::get();
+  // Wall time spent in local training since the last aggregation, for that
+  // aggregation's phase breakdown.
+  double train_wall_ms = 0.0;
+
   // Dispatch one client chosen by the selector (in-flight and dropped-out
   // devices masked). Returns false when nobody is dispatchable.
   auto dispatch_one = [&]() -> bool {
+    obs::Span dispatch_span("dispatch", "fl");
     const auto mask = dropout.available(version);
     for (std::size_t i = 0; i < n; ++i) {
       view[i].available = mask[i] && !in_flight[i];
@@ -126,6 +163,7 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
     const std::size_t id = picks[0];
     HACCS_CHECK_MSG(id < n && view[id].available,
                     "async: selector returned bad client");
+    metrics.dispatched.inc();
 
     // Post-dispatch fault for this (client, aggregation) — pure in the
     // seed, so every strategy faces the same trace.
@@ -143,11 +181,16 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
       event.crashed = true;  // dies mid-round; its compute is wasted
     } else {
       // Train now (simulation: result materializes at completion time).
+      obs::Span train_span("local_train", "fl");
+      obs::StopWatch train_clock;
       nn::Sequential local_model = model_factory_();
       local_model.set_parameters(global_params);
       const auto result =
           train_local(local_model, dataset_.clients[id].train, config_.local,
                       client_rng);
+      const double ms = train_clock.lap_ms();
+      train_wall_ms += ms;
+      metrics.train_ms.observe(ms);
       const auto updated = local_model.get_parameters();
       event.loss = result.average_loss;
       event.delta.resize(updated.size());
@@ -196,9 +239,13 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
       // Crash event: the in-flight slot is freed at the crash instant and
       // the refill below re-dispatches immediately.
       crashed_since.push_back(event.client);
+      obs::instant("client_crash", "fault");
+      metrics.crashed.inc();
       selector.report_failure(event.client, version, FailureKind::Crash);
     } else if (!update_is_valid(event.delta, config_.max_update_norm)) {
       rejected_since.push_back(event.client);
+      obs::instant("update_rejected", "fault");
+      metrics.rejected.inc();
       selector.report_failure(event.client, version,
                               FailureKind::CorruptUpdate);
     } else {
@@ -210,12 +257,15 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
 
     if (buffer.size() >= config_.buffer_size) {
       // Staleness-weighted buffered aggregation.
+      obs::Span aggregate_span("aggregate", "fl");
+      obs::StopWatch aggregate_clock;
       std::vector<double> accumulated(global_params.size(), 0.0);
       double total_weight = 0.0;
       RoundRecord record;
       for (const auto& update : buffer) {
         const double staleness =
             static_cast<double>(version - update.base_version);
+        metrics.staleness.observe(staleness);
         const double weight =
             static_cast<double>(dataset_.clients[update.client].train.size()) /
             std::pow(1.0 + staleness, config_.staleness_alpha);
@@ -229,6 +279,9 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
             config_.server_lr * accumulated[p] / total_weight);
       }
       ++version;
+      record.phase.train_ms = train_wall_ms;
+      train_wall_ms = 0.0;
+      record.phase.aggregate_ms = aggregate_clock.lap_ms();
 
       record.epoch = version - 1;
       record.sim_time_s = now;
@@ -245,6 +298,8 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
       const bool eval_now = (version - 1) % config_.eval_every == 0 ||
                             version == config_.aggregations;
       if (eval_now) {
+        obs::Span eval_span("evaluate", "fl");
+        obs::StopWatch eval_clock;
         model.set_parameters(global_params);
         double acc = 0.0, loss = 0.0;
         for (const auto& client : dataset_.clients) {
@@ -254,9 +309,15 @@ TrainingHistory AsyncFederatedTrainer::run(ClientSelector& selector,
         }
         last_accuracy = acc / static_cast<double>(n);
         last_loss = loss / static_cast<double>(n);
+        record.phase.evaluate_ms = eval_clock.lap_ms();
+        metrics.evaluations.inc();
       }
       record.global_accuracy = last_accuracy;
       record.global_loss = last_loss;
+      metrics.rounds.inc();
+      if (obs::events_enabled()) {
+        obs::RunEventLog::global().emit(round_event_json("async", record));
+      }
       history.add(std::move(record));
     }
 

@@ -8,9 +8,39 @@
 #include "src/common/error.hpp"
 #include "src/common/threadpool.hpp"
 #include "src/common/logging.hpp"
+#include "src/obs/events.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/tensor/vecops.hpp"
 
 namespace haccs::fl {
+
+namespace {
+/// Engine telemetry instruments, registered once and shared by both engines
+/// (one process-global registry; snapshots aggregate across runs).
+struct EngineMetrics {
+  obs::Counter& rounds = obs::Registry::global().counter("rounds_total");
+  obs::Counter& dispatched =
+      obs::Registry::global().counter("clients_dispatched_total");
+  obs::Counter& crashed =
+      obs::Registry::global().counter("clients_crashed_total");
+  obs::Counter& late = obs::Registry::global().counter("clients_late_total");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("updates_rejected_total");
+  obs::Counter& evaluations =
+      obs::Registry::global().counter("evaluations_total");
+  obs::Histogram& train_ms =
+      obs::Registry::global().histogram("local_train_wall_ms");
+  obs::Histogram& round_ms =
+      obs::Registry::global().histogram("round_wall_ms");
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace
 
 FederatedTrainer::FederatedTrainer(const data::FederatedDataset& dataset,
                                    std::function<nn::Sequential()> model_factory,
@@ -162,28 +192,40 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
   std::vector<sim::CircuitBreaker> breakers(
       dataset_.clients.size(), sim::CircuitBreaker(config_.breaker));
 
+  EngineMetrics& metrics = EngineMetrics::get();
+
   for (std::size_t epoch = 0; epoch < config_.rounds; ++epoch) {
+    obs::Span round_span("round", "fl");
+    obs::StopWatch phase_clock;   // lap per phase -> RoundRecord::phase
+    obs::StopWatch round_clock;   // whole-round wall time
+    PhaseTimings phase;
+
     if (config_.on_epoch_begin) config_.on_epoch_begin(epoch);
-    const auto mask = dropout.available(epoch);
-    for (std::size_t i = 0; i < view.size(); ++i) {
-      // Quarantined clients (tripped breaker) are masked like dropouts.
-      view[i].available = mask[i] && breakers[i].allows(epoch);
-      view[i].latency_s = client_latency_at(i, epoch);
-    }
-
-    auto selected = selector.select(dispatch_target, view, epoch, select_rng);
-
-    // Engine-enforced invariants: distinct, in-range, available.
-    std::unordered_set<std::size_t> seen;
     std::vector<std::size_t> dispatched;
-    for (std::size_t id : selected) {
-      HACCS_CHECK_MSG(id < view.size(), "selector returned bad client id");
-      HACCS_CHECK_MSG(view[id].available,
-                      "selector returned unavailable client");
-      if (seen.insert(id).second) dispatched.push_back(id);
+    {
+      obs::Span span("selection", "fl");
+      const auto mask = dropout.available(epoch);
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        // Quarantined clients (tripped breaker) are masked like dropouts.
+        view[i].available = mask[i] && breakers[i].allows(epoch);
+        view[i].latency_s = client_latency_at(i, epoch);
+      }
+
+      auto selected =
+          selector.select(dispatch_target, view, epoch, select_rng);
+
+      // Engine-enforced invariants: distinct, in-range, available.
+      std::unordered_set<std::size_t> seen;
+      for (std::size_t id : selected) {
+        HACCS_CHECK_MSG(id < view.size(), "selector returned bad client id");
+        HACCS_CHECK_MSG(view[id].available,
+                        "selector returned unavailable client");
+        if (seen.insert(id).second) dispatched.push_back(id);
+      }
+      HACCS_CHECK_MSG(dispatched.size() <= dispatch_target,
+                      "selector returned too many clients");
     }
-    HACCS_CHECK_MSG(dispatched.size() <= dispatch_target,
-                    "selector returned too many clients");
+    phase.selection_ms = phase_clock.lap_ms();
 
     // Post-dispatch fault trace for this round: effective latency (straggler
     // excursions applied) and the fate of each dispatched client.
@@ -218,6 +260,8 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         fate[i] = Fate::Late;
       }
     }
+    phase.dispatch_ms = phase_clock.lap_ms();
+    metrics.dispatched.inc(n_dispatched);
 
     RoundRecord record;
     record.epoch = epoch;
@@ -244,8 +288,11 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       }
       std::vector<std::vector<float>> updated_params(n_dispatched);
       std::vector<LocalTrainResult> results(n_dispatched);
+      obs::Span train_span("local_train_round", "fl");
       parallel_for(0, n_dispatched, [&](std::size_t i) {
         if (fate[i] != Fate::Pending) return;
+        obs::Span client_span("local_train", "fl");
+        obs::StopWatch client_clock;
         const std::size_t id = dispatched[i];
         nn::Sequential local_model = model_factory_();
         LocalTrainResult result;
@@ -289,11 +336,14 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         }
         updated_params[i] = std::move(updated);
         results[i] = result;
+        metrics.train_ms.observe(client_clock.lap_ms());
       });
+      phase.train_ms = phase_clock.lap_ms();
 
       // FedAvg: weighted average of the accepted updates, accumulated in
       // dispatch order so the result is independent of worker timing.
       // Crashed, late, and validation-rejected clients are wasted work.
+      obs::Span aggregate_span("aggregate", "fl");
       std::vector<double> accumulated(global_params.size(), 0.0);
       double total_weight = 0.0;
       for (std::size_t i = 0; i < n_dispatched; ++i) {
@@ -304,6 +354,8 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           if (deadline > 0.0) observed = std::min(observed, deadline);
           observed_times.push_back(observed);
           record.crashed.push_back(id);
+          obs::instant("client_crash", "fault");
+          metrics.crashed.inc();
           breakers[id].record_failure(epoch);
           selector.report_failure(id, epoch, FailureKind::Crash);
           continue;
@@ -312,6 +364,8 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           // The server waits until the deadline, then gives up on it.
           observed_times.push_back(deadline);
           record.late.push_back(id);
+          obs::instant("client_late", "fault");
+          metrics.late.inc();
           selector.report_failure(id, epoch, FailureKind::Timeout);
           continue;
         }
@@ -325,6 +379,8 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           HACCS_DEBUG << selector.name() << " epoch " << epoch
                       << " rejected invalid update from client " << id;
           record.rejected.push_back(id);
+          obs::instant("update_rejected", "fault");
+          metrics.rejected.inc();
           breakers[id].record_failure(epoch);
           selector.report_failure(id, epoch, FailureKind::CorruptUpdate);
           continue;
@@ -344,6 +400,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           global_params[p] = static_cast<float>(accumulated[p] / total_weight);
         }
       }
+      phase.aggregate_ms = phase_clock.lap_ms();
     }
 
     const double round_duration = clock.advance_round(observed_times);
@@ -353,17 +410,26 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
     const bool eval_now =
         (epoch % config_.eval_every == 0) || (epoch + 1 == config_.rounds);
     if (eval_now) {
+      obs::Span eval_span("evaluate", "fl");
       model.set_parameters(global_params);
       const bool final_round = epoch + 1 == config_.rounds;
       const auto eval = evaluate_global(
           model, final_round ? &final_per_client_accuracy_ : nullptr);
       last_accuracy = eval.accuracy;
       last_loss = eval.loss;
+      metrics.evaluations.inc();
+      phase.evaluate_ms = phase_clock.lap_ms();
       HACCS_DEBUG << selector.name() << " epoch " << epoch << " t="
                   << clock.now() << "s acc=" << eval.accuracy;
     }
     record.global_accuracy = last_accuracy;
     record.global_loss = last_loss;
+    record.phase = phase;
+    metrics.rounds.inc();
+    metrics.round_ms.observe(round_clock.lap_ms());
+    if (obs::events_enabled()) {
+      obs::RunEventLog::global().emit(round_event_json("sync", record));
+    }
     history.add(std::move(record));
   }
   final_parameters_ = std::move(global_params);

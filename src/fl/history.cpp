@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/obs/obs.hpp"
 
 namespace haccs::fl {
 
@@ -73,6 +74,33 @@ std::size_t TrainingHistory::wasted_until_accuracy(double target) const {
     if (r.global_accuracy >= target) break;
   }
   return total;
+}
+
+std::string round_event_json(const char* engine, const RoundRecord& r) {
+  obs::JsonObject phases;
+  phases.field("selection_ms", r.phase.selection_ms)
+      .field("dispatch_ms", r.phase.dispatch_ms)
+      .field("train_ms", r.phase.train_ms)
+      .field("aggregate_ms", r.phase.aggregate_ms)
+      .field("evaluate_ms", r.phase.evaluate_ms);
+  obs::JsonObject event;
+  event.field("type", "round")
+      .field("engine", engine)
+      .field("epoch", r.epoch)
+      .field("sim_time_s", r.sim_time_s)
+      .field("round_duration_s", r.round_duration_s)
+      .field("deadline_s", r.deadline_s)
+      .field("accuracy", r.global_accuracy)
+      .field("loss", r.global_loss)
+      .field("dispatched", r.dispatched)
+      .field("aggregated", r.selected.size())
+      .field("wasted", r.wasted())
+      .field_raw("selected", obs::json_array(r.selected))
+      .field_raw("crashed", obs::json_array(r.crashed))
+      .field_raw("late", obs::json_array(r.late))
+      .field_raw("rejected", obs::json_array(r.rejected))
+      .field_raw("phase_wall_ms", phases.str());
+  return event.str();
 }
 
 std::string format_tta(double tta_seconds) {

@@ -14,6 +14,17 @@
 
 namespace haccs::fl {
 
+/// Wall-clock phase breakdown of one round, milliseconds. All zeros unless
+/// telemetry is enabled (obs::timing_enabled()) — the engines skip the
+/// clock reads entirely on untraced runs.
+struct PhaseTimings {
+  double selection_ms = 0.0;  ///< selector.select + invariant checks
+  double dispatch_ms = 0.0;   ///< fault trace + deadline computation
+  double train_ms = 0.0;      ///< local training, wall (all clients)
+  double aggregate_ms = 0.0;  ///< validation + FedAvg accumulation
+  double evaluate_ms = 0.0;   ///< global evaluation (0 on non-eval rounds)
+};
+
 struct RoundRecord {
   std::size_t epoch = 0;
   double sim_time_s = 0.0;       ///< simulated clock after this round
@@ -30,11 +41,20 @@ struct RoundRecord {
   std::vector<std::size_t> late;      ///< missed the deadline
   std::vector<std::size_t> rejected;  ///< update failed validation
 
+  /// Wall-clock phase breakdown (observability; zeros on untraced runs).
+  PhaseTimings phase;
+
   /// Client-rounds of wasted work this round (dispatched but not aggregated).
   std::size_t wasted() const {
     return crashed.size() + late.size() + rejected.size();
   }
 };
+
+/// Serializes one round as a structured run event (a single JSON object):
+/// the full RoundRecord plus per-phase wall timings, tagged with the engine
+/// that produced it ("sync" / "async"). This is the JSONL schema documented
+/// in DESIGN.md §5e.
+std::string round_event_json(const char* engine, const RoundRecord& record);
 
 class TrainingHistory {
  public:

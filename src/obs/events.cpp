@@ -1,0 +1,46 @@
+#include "src/obs/events.hpp"
+
+namespace haccs::obs {
+
+RunEventLog& RunEventLog::global() {
+  static RunEventLog log;
+  return log;
+}
+
+RunEventLog::~RunEventLog() { close(); }
+
+bool RunEventLog::open(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+    open_.store(false, std::memory_order_relaxed);
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  open_.store(file_ != nullptr, std::memory_order_relaxed);
+  return file_ != nullptr;
+}
+
+void RunEventLog::emit(const std::string& json_object) {
+  if (!is_open()) return;
+  std::lock_guard lock(mutex_);
+  if (!file_) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void RunEventLog::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_) std::fflush(file_);
+}
+
+void RunEventLog::close() {
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  open_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace haccs::obs

@@ -1,0 +1,42 @@
+// Structured run events: a JSONL sink, one self-contained JSON object per
+// line, written as training progresses.
+//
+// Both engines emit one "round" record per aggregation (full RoundRecord
+// fields plus per-phase wall timings — see fl::round_event_json), so a run
+// can be replayed offline: jq/python can reconstruct the accuracy curve,
+// waste accounting, and phase breakdown without re-running anything.
+// Emission is gated on is_open(): with no sink configured, sites pay one
+// relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace haccs::obs {
+
+class RunEventLog {
+ public:
+  static RunEventLog& global();
+  ~RunEventLog();
+
+  /// Opens (truncates) the JSONL sink and enables emission. Returns false —
+  /// leaving events disabled — if the file cannot be created.
+  bool open(const std::string& path);
+
+  bool is_open() const { return open_.load(std::memory_order_relaxed); }
+
+  /// Writes one pre-serialized JSON object as a line. No-op while closed.
+  void emit(const std::string& json_object);
+
+  void flush();
+  void close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::atomic<bool> open_{false};
+};
+
+}  // namespace haccs::obs

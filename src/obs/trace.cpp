@@ -1,0 +1,125 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/obs.hpp"
+
+namespace haccs::obs {
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::record(const TraceEvent& event) {
+  Shard& shard = shards_[event.tid % kShards];
+  std::lock_guard lock(shard.mutex);
+  shard.events.push_back(event);
+}
+
+std::size_t TraceBuffer::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+void TraceBuffer::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.events.clear();
+  }
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  const auto events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  // Thread metadata first, so viewers label lanes before any event lands.
+  for (std::uint32_t tid = 0; tid < thread_count(); ++tid) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid,
+                  json_escape(thread_name(tid)).c_str());
+    out += buf;
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    // Chrome trace timestamps are microseconds; keep ns precision in the
+    // fraction.
+    const double ts_us = static_cast<double>(e.ts_ns) * 1e-3;
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                    "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"s\":\"t\"}",
+                    first ? "" : ",", e.name, e.category, e.tid, ts_us);
+    } else {
+      const double dur_us = static_cast<double>(e.dur_ns) * 1e-3;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                    first ? "" : ",", e.name, e.category, e.tid, ts_us,
+                    dur_us);
+    }
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceBuffer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category), active_(trace_enabled()) {
+  if (active_) begin_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = thread_id();
+  event.ts_ns = begin_ns_;
+  event.dur_ns = now_ns() - begin_ns_;
+  TraceBuffer::global().record(event);
+}
+
+void instant(const char* name, const char* category) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = thread_id();
+  event.ts_ns = now_ns();
+  event.instant = true;
+  TraceBuffer::global().record(event);
+}
+
+}  // namespace haccs::obs

@@ -1,0 +1,82 @@
+// Trace spans: RAII wall-clock scopes exported as Chrome trace-event JSON.
+//
+// Usage at an instrumentation site:
+//
+//   { obs::Span span("local_train", "fl");  ... work ... }
+//
+// When tracing is disabled the constructor reads one relaxed atomic and
+// returns — no clock read, no allocation. When enabled, the destructor
+// records a completed event into a lock-sharded process-global buffer
+// (shard chosen by thread id, so concurrent workers rarely contend on one
+// mutex). The export is the Chrome trace-event format, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace haccs::obs {
+
+/// One completed span or instant marker. `name` and `category` must be
+/// string literals (or otherwise outlive the buffer): the hot path records
+/// the pointers, never a copy, to stay allocation-free per event payload.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;   ///< begin, nanoseconds since process start
+  std::uint64_t dur_ns = 0;  ///< 0 for instants
+  bool instant = false;
+};
+
+/// Lock-sharded process-global span buffer.
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  void record(const TraceEvent& event);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Chrome trace-event JSON: thread_name metadata ("M") records followed
+  /// by complete ("X") and instant ("i") events, sorted by timestamp.
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// RAII trace span. Construction and destruction are no-ops (one relaxed
+/// atomic load each) while tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "haccs");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t begin_ns_ = 0;
+  bool active_;
+};
+
+/// Records a zero-duration marker (fault events, rejections); no-op while
+/// tracing is disabled.
+void instant(const char* name, const char* category = "haccs");
+
+}  // namespace haccs::obs

@@ -5,7 +5,29 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+
 namespace haccs::sim {
+
+namespace {
+
+// Cached references: registry lookups take a lock, so resolve each counter
+// once and reuse the (never-invalidated) reference on every injection.
+struct FaultMetrics {
+  obs::Counter& crash;
+  obs::Counter& corruption;
+  obs::Counter& straggler;
+  static FaultMetrics& get() {
+    static FaultMetrics m{
+        obs::Registry::global().counter("faults_crash_total"),
+        obs::Registry::global().counter("faults_corruption_total"),
+        obs::Registry::global().counter("faults_straggler_total"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string to_string(FaultKind kind) {
   switch (kind) {
@@ -73,9 +95,11 @@ FaultEvent FaultModel::at(std::size_t client, std::size_t epoch) const {
     event.kind = FaultKind::Crash;
     event.crash_frac =
         rng.uniform(config_.crash_frac_min, config_.crash_frac_max);
+    FaultMetrics::get().crash.inc();
   } else if (u < crash_rate + config_.corruption_rate) {
     event.kind = FaultKind::Corruption;
     event.corruption = static_cast<CorruptionMode>(rng.uniform_index(3));
+    FaultMetrics::get().corruption.inc();
   } else if (u < crash_rate + config_.corruption_rate +
                      config_.straggler_rate) {
     event.kind = FaultKind::Straggler;
@@ -84,6 +108,7 @@ FaultEvent FaultModel::at(std::size_t client, std::size_t epoch) const {
         config_.straggler_scale *
         std::pow(1.0 - rng.uniform(), -1.0 / config_.straggler_alpha);
     event.latency_multiplier = std::min(tail, config_.straggler_cap);
+    FaultMetrics::get().straggler.inc();
   }
   return event;
 }

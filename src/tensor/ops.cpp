@@ -10,11 +10,20 @@
 
 #include "src/common/error.hpp"
 #include "src/common/threadpool.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/tensor/gemm_blocked.hpp"
 
 namespace haccs::ops {
 
 namespace {
+
+// One registry lookup per process; inc() itself is a relaxed-load no-op
+// while metrics are disabled, so the hot path stays untouched.
+obs::Counter& gemm_calls_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("gemm_backend_calls");
+  return c;
+}
 
 void check_matrix(const Tensor& t, const char* name) {
   if (t.rank() != 2) {
@@ -161,6 +170,7 @@ void gemm_reference(const Tensor& a, const Tensor& b, Tensor& c,
 }
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  gemm_calls_counter().inc();
   if (kernel_backend() == KernelBackend::kReference) {
     gemm_reference(a, b, c, accumulate);
     return;
@@ -202,6 +212,7 @@ void gemm_bt_reference(const Tensor& a, const Tensor& b, Tensor& c,
 }
 
 void gemm_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  gemm_calls_counter().inc();
   if (kernel_backend() == KernelBackend::kReference) {
     gemm_bt_reference(a, b, c, accumulate);
     return;
@@ -243,6 +254,7 @@ void gemm_at_reference(const Tensor& a, const Tensor& b, Tensor& c,
 }
 
 void gemm_at(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  gemm_calls_counter().inc();
   if (kernel_backend() == KernelBackend::kReference) {
     gemm_at_reference(a, b, c, accumulate);
     return;

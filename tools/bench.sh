@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Kernel benchmark runner: builds the Release tree and runs the micro
-# benchmark suite with JSON output, producing the tracked perf baseline.
+# Benchmark runner: builds the Release tree, runs the micro benchmark suite
+# with JSON output (the tracked kernel perf baseline), and an end-to-end
+# 200-round haccs_run whose machine-readable summary (wall time, TTA, wasted
+# client-rounds) is the tracked e2e baseline.
 #
-# Usage: tools/bench.sh [output.json] [--filter=REGEX]
+# Usage: tools/bench.sh [output.json] [--filter=REGEX] [--skip-e2e] [--e2e-only]
 #
 #   output.json   where to write the google-benchmark JSON
 #                 (default: BENCH_kernels.json at the repo root — the
@@ -11,6 +13,8 @@
 #   --filter=RE   restrict to benchmarks matching RE (default: the compute
 #                 kernels — GEMM family, conv, train step, evaluation,
 #                 FedAvg accumulation)
+#   --skip-e2e    kernel micro benchmarks only
+#   --e2e-only    end-to-end run only (writes BENCH_e2e.json)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,20 +22,39 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 out="$repo/BENCH_kernels.json"
 filter='BM_Gemm|BM_Conv2d|BM_MlpTrainStep|BM_Evaluation|BM_FedAvgAccumulate'
+run_micro=1
+run_e2e=1
 for arg in "$@"; do
   case "$arg" in
     --filter=*) filter="${arg#--filter=}" ;;
+    --skip-e2e) run_e2e=0 ;;
+    --e2e-only) run_micro=0 ;;
     *) out="$arg" ;;
   esac
 done
 
 cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$repo/build" -j "$jobs" --target micro
+if [[ "$run_micro" -eq 1 ]]; then
+  cmake --build "$repo/build" -j "$jobs" --target micro
 
-"$repo/build/bench/micro" \
-  --benchmark_filter="$filter" \
-  --benchmark_out="$out" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
+  "$repo/build/bench/micro" \
+    --benchmark_filter="$filter" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
 
-echo "wrote $out"
+  echo "wrote $out"
+fi
+
+if [[ "$run_e2e" -eq 1 ]]; then
+  # Fixed end-to-end config: the default femnist-like workload (50 clients,
+  # 10/round) for 200 rounds. --summary-json captures wall time, TTA per
+  # target, and dispatched/wasted client-rounds; the committed BENCH_e2e.json
+  # is the regression reference for whole-pipeline cost (selection +
+  # clustering + training + aggregation), not just kernels.
+  cmake --build "$repo/build" -j "$jobs" --target haccs_run
+  "$repo/build/tools/haccs_run" \
+    --strategy=haccs-py --partition=majority --rounds=200 --seed=1 \
+    --log-level=warn --summary-json="$repo/BENCH_e2e.json"
+  echo "wrote $repo/BENCH_e2e.json"
+fi

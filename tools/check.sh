@@ -24,6 +24,42 @@ run_suite() {
 echo "== tier-1: default build =="
 run_suite "$repo/build"
 
+echo "== telemetry artifacts: traced run produces valid JSON =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+obs_rounds=12
+"$repo/build/tools/haccs_run" \
+  --strategy=haccs-py --rounds="$obs_rounds" --clients=12 --per-round=4 \
+  --log-level=warn --csv="$obs_dir/traced" \
+  --trace="$obs_dir/trace.json" --metrics="$obs_dir/metrics.json" \
+  --events="$obs_dir/events.jsonl" --summary-json="$obs_dir/summary.json"
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$obs_dir/trace.json" > /dev/null
+  python3 -m json.tool "$obs_dir/metrics.json" > /dev/null
+  python3 -m json.tool "$obs_dir/summary.json" > /dev/null
+  # JSONL: every line parses on its own, one event per round, and the
+  # metrics snapshot counted every round.
+  python3 - "$obs_dir" "$obs_rounds" <<'EOF'
+import json, sys
+obs_dir, rounds = sys.argv[1], int(sys.argv[2])
+lines = [json.loads(l) for l in open(obs_dir + "/events.jsonl")]
+assert len(lines) == rounds, f"expected {rounds} events, got {len(lines)}"
+assert all(e["type"] == "round" for e in lines)
+metrics = json.load(open(obs_dir + "/metrics.json"))
+assert metrics["counters"]["rounds_total"] == rounds, metrics["counters"]
+print(f"telemetry OK: {rounds} round events, rounds_total={rounds}")
+EOF
+else
+  echo "python3 not found; skipping JSON validation"
+fi
+
+echo "== telemetry off: selector output byte-identical =="
+"$repo/build/tools/haccs_run" \
+  --strategy=haccs-py --rounds="$obs_rounds" --clients=12 --per-round=4 \
+  --log-level=warn --csv="$obs_dir/plain"
+diff "$obs_dir/plain_curve.csv" "$obs_dir/traced_curve.csv"
+echo "curves identical"
+
 if [[ "$skip_sanitize" -eq 0 ]]; then
   echo "== tier-1: ASan+UBSan build =="
   run_suite "$repo/build-sanitize" -DHACCS_SANITIZE=address,undefined
@@ -35,6 +71,15 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   # the CPU dispatch normally picks, so force the fallback explicitly).
   HACCS_KERNEL_TEST_ITERS=150 HACCS_PORTABLE_KERNELS=1 \
     "$repo/build-sanitize/tests/haccs_tests" --gtest_filter='Kernels.*'
+
+  # Observability subsystem under TSan: the trace buffer, metrics registry,
+  # and event log are the only components mutated concurrently from the
+  # thread pool *and* arbitrary user threads, so they get a dedicated
+  # data-race pass (the ASan tree above already ran them for memory safety).
+  echo "== obs concurrency under TSan =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DHACCS_SANITIZE=thread
+  cmake --build "$repo/build-tsan" -j "$jobs" --target haccs_tests
+  "$repo/build-tsan/tests/haccs_tests" --gtest_filter='ObsTest.*'
 fi
 
 echo "== all checks passed =="

@@ -13,12 +13,14 @@
 // Strategies: random | tifl | oort | haccs-py | haccs-pxy | gradient |
 //             stratified
 // Partitions: majority | iid | klabels | feature-skew | dirichlet | groups
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
 #include "bench/harness.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/obs.hpp"
 #include "src/core/gradient_selector.hpp"
 #include "src/core/stratified_selector.hpp"
 #include "src/nn/serialize.hpp"
@@ -49,6 +51,12 @@ void print_usage() {
       "  --targets=CSV   accuracy targets, e.g. 0.5,0.7,0.8\n"
       "  --save-model=F  write final parameters as a checkpoint\n"
       "  --csv=PREFIX    write <prefix>_curve.csv\n"
+      "telemetry (DESIGN.md §5e):\n"
+      "  --trace=F       write Chrome trace-event JSON (open in Perfetto)\n"
+      "  --metrics=F     write metrics registry snapshot JSON\n"
+      "  --events=F      write per-round structured events (JSONL)\n"
+      "  --log-level=L   debug|info|warn|error|off (default info)\n"
+      "  --summary-json=F  write machine-readable run summary JSON\n"
       "  --help          this text");
 }
 
@@ -68,6 +76,7 @@ std::vector<double> parse_targets(const std::string& csv) {
 
 int main(int argc, char** argv) {
   using namespace haccs;
+  const auto wall_start = std::chrono::steady_clock::now();
   const Flags flags(argc, argv);
   if (flags.get_bool("help", false)) {
     print_usage();
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   const auto targets = parse_targets(flags.get_string("targets", "0.5,0.7,0.8"));
   const std::string save_model = flags.get_string("save-model", "");
   const std::string csv = flags.get_string("csv", "");
+  const std::string summary_json = flags.get_string("summary-json", "");
   flags.check_unused();
 
   // ---- data ----
@@ -227,5 +237,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote trained checkpoint to %s\n",
                  save_model.c_str());
   }
+
+  if (!summary_json.empty()) {
+    std::size_t dispatched_total = 0, wasted_total = 0;
+    for (const auto& r : history.records()) {
+      dispatched_total += r.dispatched;
+      wasted_total += r.wasted();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    obs::JsonObject tta;
+    for (double t : targets) {
+      const std::string key = Table::num(t, 2);
+      tta.field(key.c_str(), history.time_to_accuracy(t));
+    }
+    obs::JsonObject o;
+    o.field("strategy", selector->name())
+        .field("partition", partition)
+        .field("dataset", bench::to_string(exp.dataset))
+        .field("rounds", engine_config.rounds)
+        .field("clients", fed.num_clients())
+        .field("per_round", engine_config.clients_per_round)
+        .field("seed", exp.seed)
+        .field("final_accuracy", history.final_accuracy())
+        .field("best_accuracy", history.best_accuracy())
+        .field("total_sim_time_s", history.total_time())
+        .field("wall_time_s", wall_s)
+        .field("dispatched_client_rounds", dispatched_total)
+        .field("wasted_client_rounds", wasted_total)
+        .field_raw("tta_s", tta.str());
+    std::FILE* f = std::fopen(summary_json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", summary_json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", o.str().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote run summary to %s\n", summary_json.c_str());
+  }
+
+  // Telemetry artifacts would also be written by the atexit hook; flushing
+  // here surfaces any write error while stderr is still in context.
+  obs::flush();
   return 0;
 }
