@@ -178,6 +178,8 @@ std::map<std::string, std::map<double, double>> print_tta_table(
   }
   header.push_back("final_acc");
   header.push_back("best_acc");
+  header.push_back("uplink_mb");
+  header.push_back("downlink_mb");
   Table table(header);
 
   std::map<std::string, std::map<double, double>> out;
@@ -190,6 +192,12 @@ std::map<std::string, std::map<double, double>> print_tta_table(
     }
     row.push_back(Table::num(run.history.final_accuracy(), 3));
     row.push_back(Table::num(run.history.best_accuracy(), 3));
+    // Communication totals, priced as real wire frames (fl/protocol.hpp).
+    constexpr double kMiB = 1024.0 * 1024.0;
+    row.push_back(Table::num(
+        static_cast<double>(run.history.total_uplink_bytes()) / kMiB, 2));
+    row.push_back(Table::num(
+        static_cast<double>(run.history.total_downlink_bytes()) / kMiB, 2));
     table.add_row(std::move(row));
   }
   table.print();

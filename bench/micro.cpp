@@ -9,6 +9,11 @@
 #include "src/core/pipeline.hpp"
 #include "src/data/partition.hpp"
 #include "src/fl/client.hpp"
+#include "src/fl/compression.hpp"
+#include "src/fl/protocol.hpp"
+#include "src/net/crc32.hpp"
+#include "src/net/frame.hpp"
+#include "src/net/messages.hpp"
 #include "src/nn/loss.hpp"
 #include "src/nn/model.hpp"
 #include "src/nn/optimizer.hpp"
@@ -250,6 +255,84 @@ void BM_DeviceProfileSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeviceProfileSample);
+
+// ---------------------------------------------------------------------------
+// Wire protocol (src/net): framing cost per update, both directions. The
+// arg is the parameter count n; kind 0/1/2 = None/TopK/Int8, matching
+// fl::CompressionKind. Items processed = parameters, so the reported rate
+// is params/s through the codec.
+
+fl::CompressionConfig net_bench_config(int kind) {
+  fl::CompressionConfig config;
+  config.kind = static_cast<fl::CompressionKind>(kind);
+  config.topk_fraction = 0.1;
+  return config;
+}
+
+net::ClientUpdateMsg net_bench_update(std::size_t n,
+                                      const fl::CompressionConfig& config) {
+  Rng rng(11);
+  std::vector<float> update(n);
+  for (auto& v : update) v = static_cast<float>(rng.normal());
+  std::vector<float> residual;
+  const auto compressed = fl::compress_update(update, config, residual);
+  net::ClientUpdateMsg msg;
+  msg.client_id = 1;
+  msg.sample_count = 80;
+  msg.update = fl::make_update_payload(compressed, n, config);
+  return msg;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32)->Arg(1024)->Arg(262144)->Arg(4194304);
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto config = net_bench_config(static_cast<int>(state.range(1)));
+  const auto msg = net_bench_update(n, config);
+  for (auto _ : state) {
+    auto bytes = net::encode_frame(net::encode_client_update(msg));
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EncodeUpdate)
+    ->Args({262144, 0})
+    ->Args({262144, 1})
+    ->Args({262144, 2});
+
+void BM_DecodeUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto config = net_bench_config(static_cast<int>(state.range(1)));
+  const auto bytes =
+      net::encode_frame(net::encode_client_update(net_bench_update(n, config)));
+  for (auto _ : state) {
+    net::Frame frame;
+    if (net::decode_frame(bytes, &frame) != net::FrameStatus::Ok) {
+      state.SkipWithError("frame decode failed");
+      break;
+    }
+    auto msg = net::decode_client_update(frame);
+    benchmark::DoNotOptimize(msg.update.dense.data());
+    benchmark::DoNotOptimize(msg.update.values.data());
+    benchmark::DoNotOptimize(msg.update.codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecodeUpdate)
+    ->Args({262144, 0})
+    ->Args({262144, 1})
+    ->Args({262144, 2});
 
 }  // namespace
 }  // namespace haccs

@@ -1,0 +1,268 @@
+// haccs_server — the coordinator half of a real multi-process federated run.
+//
+// Listens on localhost, waits for --workers haccs_worker processes, receives
+// each hosted client's P(y) summary over the wire (paper §IV-A's one-time
+// uplink), clusters from those summaries, then drives the standard
+// FederatedTrainer round loop with every local-training job shipped as a
+// TrainJob frame and every update collected as a ClientUpdate frame.
+//
+// The workload is rebuilt from the same flags + seed on both sides, so the
+// run is directly comparable to the single-process `haccs_run` with the
+// identical flags — tools/check.sh pins that the two report the same final
+// accuracy.
+//
+//   ./haccs_server --workers=2 --port=0 --port-file=/tmp/port
+//       --rounds=5 --clients=12 --per-round=4 --summary-json=/tmp/s.json
+//   ./haccs_worker --worker-id=0 --workers=2 --port-file=/tmp/port ... &
+//   ./haccs_worker --worker-id=1 --workers=2 --port-file=/tmp/port ... &
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "examples/multiprocess_common.hpp"
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/fl/net_driver.hpp"
+#include "src/net/tcp.hpp"
+#include "src/obs/obs.hpp"
+#include "src/select/random_selector.hpp"
+#include "src/stats/summary_codec.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "haccs_server — multi-process federated coordinator\n"
+      "  --workers=N          worker processes to wait for (default 1)\n"
+      "  --port=P             listen port; 0 = ephemeral (default 4242)\n"
+      "  --port-file=F        write the resolved port to F (for launchers)\n"
+      "  --strategy=S         random|haccs-py (default haccs-py)\n"
+      "  --rho=R              Eq. 7 trade-off (default 0.5)\n"
+      "  --accept-timeout-ms=T  per-worker accept deadline (default 30000)\n"
+      "  --io-timeout-ms=T    per-frame send/recv deadline (default 120000)\n"
+      "  --summary-json=F     machine-readable run summary\n"
+      "workload (must match the workers'): --dataset --clients --per-round\n"
+      "  --rounds --classes --seed --full --noise-scale\n"
+      "telemetry: --trace --metrics --events --log-level");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+
+  bench::ExperimentConfig exp;
+  exp.apply_flags(flags);
+  // Wire telemetry (net_bytes_*_total, net_frames_corrupt_total) is the
+  // point of this binary, so the metrics pillar is always on here — the
+  // summary reports actual transported bytes, not just priced ones.
+  obs::set_metrics_enabled(true);
+  const auto num_workers =
+      static_cast<std::size_t>(flags.get_int("workers", 1));
+  const auto port_flag = static_cast<std::uint16_t>(flags.get_int("port", 4242));
+  const std::string port_file = flags.get_string("port-file", "");
+  const std::string strategy = flags.get_string("strategy", "haccs-py");
+  const double rho = flags.get_double("rho", 0.5);
+  const int accept_timeout_ms =
+      static_cast<int>(flags.get_int("accept-timeout-ms", 30000));
+  const int io_timeout_ms =
+      static_cast<int>(flags.get_int("io-timeout-ms", 120000));
+  const std::string summary_json = flags.get_string("summary-json", "");
+  flags.check_unused();
+  if (num_workers == 0) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 1;
+  }
+
+  // Both processes rebuild the identical federation from the same flags;
+  // only parameters, updates, and summaries cross the wire.
+  const data::FederatedDataset fed = examples::build_federation(exp);
+  auto engine_config = exp.make_engine_config(fed);
+
+  // ---- accept the worker fleet ----
+  net::TcpListener listener(port_flag);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", listener.port());
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%u, waiting for %zu worker(s)\n",
+               listener.port(), num_workers);
+
+  std::vector<std::unique_ptr<net::Transport>> transports(num_workers);
+  std::vector<core::ClientSummary> summaries(fed.num_clients());
+  std::vector<bool> have_summary(fed.num_clients(), false);
+  for (std::size_t accepted = 0; accepted < num_workers; ++accepted) {
+    auto transport = listener.accept(accept_timeout_ms);
+    if (!transport) {
+      std::fprintf(stderr, "timed out waiting for worker %zu of %zu\n",
+                   accepted + 1, num_workers);
+      return 1;
+    }
+    net::Frame frame;
+    if (transport->recv(&frame, io_timeout_ms) != net::TransportStatus::Ok ||
+        frame.type != net::MessageType::Hello) {
+      std::fprintf(stderr, "handshake with %s failed (no Hello frame)\n",
+                   transport->peer().c_str());
+      return 1;
+    }
+    const net::HelloMsg hello = net::decode_hello(frame);
+    if (hello.worker_id >= num_workers || transports[hello.worker_id]) {
+      std::fprintf(stderr, "bad or duplicate worker id %u (expected 0..%zu)\n",
+                   hello.worker_id, num_workers - 1);
+      return 1;
+    }
+    // §IV-A uplink: one P(y) summary per hosted client, once per run.
+    for (std::uint32_t s = 0; s < hello.num_clients; ++s) {
+      if (transport->recv(&frame, io_timeout_ms) != net::TransportStatus::Ok ||
+          frame.type != net::MessageType::Summary) {
+        std::fprintf(stderr, "worker %u: summary %u of %u never arrived\n",
+                     hello.worker_id, s + 1, hello.num_clients);
+        return 1;
+      }
+      const net::SummaryMsg msg = net::decode_summary(frame);
+      if (msg.client_id >= fed.num_clients()) {
+        std::fprintf(stderr, "summary for unknown client %u\n", msg.client_id);
+        return 1;
+      }
+      core::ClientSummary summary;
+      summary.kind = stats::SummaryKind::Response;
+      summary.response = stats::decode_response_summary(msg);
+      summaries[msg.client_id] = std::move(summary);
+      have_summary[msg.client_id] = true;
+    }
+    std::fprintf(stderr, "worker %u connected (%s), hosting %u client(s)\n",
+                 hello.worker_id, transport->peer().c_str(), hello.num_clients);
+    transports[hello.worker_id] = std::move(transport);
+  }
+
+  // ---- strategy ----
+  core::HaccsConfig haccs;
+  haccs.rho = rho;
+  haccs.initial_loss = engine_config.initial_loss;
+  haccs.summary = stats::SummaryKind::Response;
+  std::unique_ptr<fl::ClientSelector> selector;
+  if (strategy == "random") {
+    selector = std::make_unique<select::RandomSelector>();
+  } else if (strategy == "haccs-py") {
+    for (std::size_t c = 0; c < fed.num_clients(); ++c) {
+      if (!have_summary[c]) {
+        std::fprintf(stderr,
+                     "no summary for client %zu — check each worker's "
+                     "--worker-id/--workers against --workers here\n",
+                     c);
+        return 1;
+      }
+    }
+    // Cluster from the summaries the workers actually sent: the wire-borne
+    // equivalent of core::cluster_clients (and identical to it for the same
+    // flags, since the f64 tables round-trip bit-exactly).
+    const auto labels =
+        core::cluster_distances(core::summary_distances(summaries), haccs);
+    selector = std::make_unique<core::HaccsSelector>(labels, haccs);
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (random|haccs-py)\n",
+                 strategy.c_str());
+    return 1;
+  }
+
+  // ---- train over the transports ----
+  fl::TransportDispatcherConfig dispatch_config;
+  dispatch_config.work.local = engine_config.local;
+  dispatch_config.work.fedprox =
+      engine_config.algorithm == fl::LocalAlgorithm::FedProx;
+  dispatch_config.work.fedprox_mu = engine_config.fedprox_mu;
+  dispatch_config.work.compression = engine_config.compression;
+  dispatch_config.send_timeout_ms = io_timeout_ms;
+  dispatch_config.recv_timeout_ms = io_timeout_ms;
+  std::vector<net::Transport*> worker_ptrs;
+  worker_ptrs.reserve(transports.size());
+  for (const auto& t : transports) worker_ptrs.push_back(t.get());
+  fl::TransportDispatcher dispatcher(std::move(worker_ptrs), dispatch_config);
+  engine_config.dispatcher = &dispatcher;
+
+  fl::FederatedTrainer trainer(
+      fed, core::default_model_factory(fed, examples::kModelSeed),
+      engine_config);
+  std::fprintf(stderr, "running %s: %zu clients, %zu/round, %zu rounds, "
+               "%zu worker process(es)\n",
+               selector->name().c_str(), fed.num_clients(),
+               engine_config.clients_per_round, engine_config.rounds,
+               num_workers);
+  const fl::TrainingHistory history = trainer.run(*selector);
+
+  // ---- wind down the fleet ----
+  net::EvalReportMsg report;
+  report.epoch = engine_config.rounds;
+  report.accuracy = history.final_accuracy();
+  report.loss = history.records().empty()
+                    ? 0.0
+                    : history.records().back().global_loss;
+  for (const auto& t : transports) {
+    t->send(net::encode_eval_report(report), io_timeout_ms);
+    t->send(net::encode_shutdown(), io_timeout_ms);
+  }
+
+  // ---- report ----
+  const auto& wire = net::NetMetrics::get();
+  Table summary({"metric", "value"});
+  summary.add_row({"strategy", selector->name()});
+  summary.add_row({"workers", std::to_string(num_workers)});
+  summary.add_row({"final_accuracy", Table::num(history.final_accuracy(), 4)});
+  summary.add_row({"best_accuracy", Table::num(history.best_accuracy(), 4)});
+  summary.add_row({"total_sim_time_s", Table::num(history.total_time(), 1)});
+  summary.add_row(
+      {"uplink_bytes", std::to_string(history.total_uplink_bytes())});
+  summary.add_row(
+      {"downlink_bytes", std::to_string(history.total_downlink_bytes())});
+  summary.add_row(
+      {"net_bytes_sent", std::to_string(wire.bytes_sent.value())});
+  summary.add_row(
+      {"net_bytes_received", std::to_string(wire.bytes_received.value())});
+  summary.add_row(
+      {"net_frames_corrupt", std::to_string(wire.frames_corrupt.value())});
+  summary.print();
+
+  if (!summary_json.empty()) {
+    obs::JsonObject o;
+    o.field("strategy", selector->name())
+        .field("workers", num_workers)
+        .field("rounds", engine_config.rounds)
+        .field("clients", fed.num_clients())
+        .field("per_round", engine_config.clients_per_round)
+        .field("seed", exp.seed)
+        .field("final_accuracy", history.final_accuracy())
+        .field("best_accuracy", history.best_accuracy())
+        .field("total_sim_time_s", history.total_time())
+        .field("uplink_bytes", history.total_uplink_bytes())
+        .field("downlink_bytes", history.total_downlink_bytes())
+        .field("net_bytes_sent", wire.bytes_sent.value())
+        .field("net_bytes_received", wire.bytes_received.value())
+        .field("net_frames_corrupt", wire.frames_corrupt.value());
+    std::FILE* f = std::fopen(summary_json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", summary_json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", o.str().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote run summary to %s\n", summary_json.c_str());
+  }
+
+  obs::flush();
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "haccs_server: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,140 @@
+// haccs_worker — the device half of a real multi-process federated run.
+//
+// Rebuilds the same federation as the server from the same flags + seed,
+// connects over TCP, introduces itself with a Hello frame, uploads one P(y)
+// summary per hosted client (paper §IV-A), then serves TrainJob frames with
+// the identical local training the in-process engine runs — the job carries
+// the engine's forked RNG seed, so the round is bit-identical no matter
+// which process executes it. Exits on the server's Shutdown frame, when the
+// connection closes, or after --idle-timeout-ms without traffic (so an
+// orphaned worker never hangs a scripted launch).
+//
+//   ./haccs_worker --worker-id=0 --workers=2 --port-file=/tmp/port
+//       --rounds=5 --clients=12 --per-round=4
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "examples/multiprocess_common.hpp"
+#include "src/fl/net_driver.hpp"
+#include "src/net/tcp.hpp"
+#include "src/obs/obs.hpp"
+#include "src/stats/summary_codec.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "haccs_worker — multi-process federated worker\n"
+      "  --host=H             server host (default 127.0.0.1)\n"
+      "  --port=P             server port (default 4242)\n"
+      "  --port-file=F        poll F for the port instead (server writes it)\n"
+      "  --worker-id=I        this worker's id in [0, --workers)\n"
+      "  --workers=N          total workers; this one hosts clients with\n"
+      "                       id %% N == I (default 1)\n"
+      "  --idle-timeout-ms=T  exit after T ms without traffic; <0 = wait\n"
+      "                       forever (default 120000)\n"
+      "workload (must match the server's): --dataset --clients --per-round\n"
+      "  --rounds --classes --seed --full --noise-scale\n"
+      "telemetry: --trace --metrics --events --log-level");
+}
+
+/// Polls `path` until it holds a port number (the server writes it after
+/// binding — the normal race in a scripted 2-process launch).
+std::uint16_t wait_for_port_file(const std::string& path, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0 && port <= 65535) {
+      return static_cast<std::uint16_t>(port);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("timed out waiting for port file " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace haccs;
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+
+  bench::ExperimentConfig exp;
+  exp.apply_flags(flags);
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  auto port = static_cast<std::uint16_t>(flags.get_int("port", 4242));
+  const std::string port_file = flags.get_string("port-file", "");
+  const auto worker_id =
+      static_cast<std::uint32_t>(flags.get_int("worker-id", 0));
+  const auto num_workers =
+      static_cast<std::uint32_t>(flags.get_int("workers", 1));
+  const int idle_timeout_ms =
+      static_cast<int>(flags.get_int("idle-timeout-ms", 120000));
+  flags.check_unused();
+  if (num_workers == 0 || worker_id >= num_workers) {
+    std::fprintf(stderr, "--worker-id must lie in [0, --workers)\n");
+    return 1;
+  }
+  if (!port_file.empty()) port = wait_for_port_file(port_file, 30000);
+
+  const data::FederatedDataset fed = examples::build_federation(exp);
+
+  net::TcpConnectOptions connect_options;
+  auto transport = net::connect_tcp(host, port, connect_options);
+  if (!transport) {
+    std::fprintf(stderr, "worker %u: cannot reach %s:%u\n", worker_id,
+                 host.c_str(), port);
+    return 1;
+  }
+
+  std::vector<std::size_t> hosted;
+  for (std::size_t id = 0; id < fed.num_clients(); ++id) {
+    if (id % num_workers == worker_id) hosted.push_back(id);
+  }
+  net::HelloMsg hello;
+  hello.worker_id = worker_id;
+  hello.num_clients = static_cast<std::uint32_t>(hosted.size());
+  if (transport->send(net::encode_hello(hello)) != net::TransportStatus::Ok) {
+    std::fprintf(stderr, "worker %u: handshake send failed\n", worker_id);
+    return 1;
+  }
+  for (std::size_t id : hosted) {
+    const auto summary = stats::summarize_response(fed.clients[id].train);
+    const auto status = transport->send(net::encode_summary(
+        stats::encode_summary_msg(static_cast<std::uint32_t>(id), summary)));
+    if (status != net::TransportStatus::Ok) {
+      std::fprintf(stderr, "worker %u: summary upload for client %zu failed\n",
+                   worker_id, id);
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "worker %u: connected to %s, hosting %zu client(s)\n",
+               worker_id, transport->peer().c_str(), hosted.size());
+
+  fl::WorkerLoopConfig loop_config;
+  loop_config.worker_id = worker_id;
+  loop_config.recv_timeout_ms = idle_timeout_ms;
+  loop_config.exit_on_timeout = idle_timeout_ms >= 0;
+  fl::WorkerLoop loop(fed,
+                      core::default_model_factory(fed, examples::kModelSeed),
+                      *transport, loop_config);
+  const std::size_t served = loop.run();
+  std::fprintf(stderr, "worker %u: done, served %zu job(s)\n", worker_id,
+               served);
+
+  obs::flush();
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "haccs_worker: %s\n", e.what());
+  return 1;
+}

@@ -67,10 +67,14 @@ CompressedUpdate compress_update(std::span<const float> update,
                        magnitudes.end(), std::greater<float>());
       const float threshold = magnitudes[k - 1];
       out.dense.assign(n, 0.0f);
+      out.topk_indices.reserve(k);
+      out.topk_values.reserve(k);
       std::size_t kept = 0;
       for (std::size_t i = 0; i < n && kept < k; ++i) {
         if (std::abs(signal[i]) >= threshold) {
           out.dense[i] = signal[i];
+          out.topk_indices.push_back(static_cast<std::uint32_t>(i));
+          out.topk_values.push_back(signal[i]);
           ++kept;
         }
       }
@@ -88,16 +92,22 @@ CompressedUpdate compress_update(std::span<const float> update,
         hi = std::max(hi, v);
       }
       out.dense.resize(n);
+      out.int8_codes.assign(n, 0);
       const float range = hi - lo;
       if (range <= 0.0f) {
-        // Constant signal quantizes exactly.
+        // lo <= 0 <= hi always, so a zero range means an all-zero signal:
+        // all-zero codes with lo = step = 0 reproduce it exactly.
         out.dense = signal;
       } else {
         const float step = range / 255.0f;
+        out.int8_lo = lo;
+        out.int8_step = step;
         for (std::size_t i = 0; i < n; ++i) {
           const auto q = static_cast<int>(
               std::lround((signal[i] - lo) / step));
-          out.dense[i] = lo + static_cast<float>(std::clamp(q, 0, 255)) * step;
+          const int code = std::clamp(q, 0, 255);
+          out.int8_codes[i] = static_cast<std::uint8_t>(code);
+          out.dense[i] = lo + static_cast<float>(code) * step;
         }
       }
       if (config.error_feedback) {

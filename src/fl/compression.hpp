@@ -34,11 +34,25 @@ struct CompressionConfig {
 };
 
 /// A compressed update plus the metadata needed to size its transfer.
+///
+/// Besides the dense reconstruction, the compressor emits the wire-form
+/// payload (the exact fields net's ClientUpdate codec serializes): TopK's
+/// kept (index, value) pairs, Int8's quantization codes and dequant scalars.
+/// Reconstructing from the wire fields reproduces `dense` bit-exactly — the
+/// invariant that makes a transported round identical to an in-process one.
 struct CompressedUpdate {
   /// Dense reconstruction of the update (what the server applies).
   std::vector<float> dense;
-  /// Bytes this update would occupy on the wire.
+  /// Bytes this update's tensor body occupies on the wire. Always equals
+  /// compressed_wire_bytes(n, config) — the latency model's price.
   std::size_t wire_bytes = 0;
+
+  // Wire form (which members are filled depends on the kind):
+  std::vector<std::uint32_t> topk_indices;  ///< TopK: kept coordinates
+  std::vector<float> topk_values;           ///< TopK: kept values
+  std::vector<std::uint8_t> int8_codes;     ///< Int8: one code per coord
+  float int8_lo = 0.0f;    ///< Int8: dequantization offset
+  float int8_step = 0.0f;  ///< Int8: dequantization step
 };
 
 /// Compresses `update` (dense, length n). `residual` carries error feedback

@@ -8,6 +8,7 @@
 #include "src/common/error.hpp"
 #include "src/common/threadpool.hpp"
 #include "src/common/logging.hpp"
+#include "src/fl/protocol.hpp"
 #include "src/obs/events.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
@@ -164,8 +165,17 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
   auto view = make_client_view();
   selector.initialize(view);
 
-  // Per-client error-feedback residuals for update compression.
-  std::vector<std::vector<float>> residuals(dataset_.clients.size());
+  // Where this run's local training executes. The default in-process
+  // dispatcher is created per run (its compression residuals start clean,
+  // like the engine's old per-run residual table).
+  LocalWorkConfig work;
+  work.local = config_.local;
+  work.fedprox = config_.algorithm == LocalAlgorithm::FedProx;
+  work.fedprox_mu = config_.fedprox_mu;
+  work.compression = config_.compression;
+  InProcessDispatcher default_dispatcher(dataset_, model_factory_, work);
+  RoundDispatcher* dispatcher =
+      config_.dispatcher ? config_.dispatcher : &default_dispatcher;
 
   // Separate streams: selection randomness must not perturb training
   // randomness (and vice versa) so strategies stay comparable.
@@ -276,68 +286,32 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       for (std::size_t id : dispatched) {
         min_latency = std::min(min_latency, view[id].latency_s);
       }
-      // Fork the per-client training streams serially (deterministic order),
-      // then train in parallel — clients within a round are independent,
-      // exactly like the real system. Crashed and late clients never deliver
-      // an update, so their local training is skipped (their fork is still
-      // consumed, keeping the streams aligned across fault configurations).
-      std::vector<Rng> client_rngs;
-      client_rngs.reserve(n_dispatched);
+      // Fork the per-client training streams serially (deterministic order).
+      // Crashed and late clients never deliver an update, so they get no job
+      // (their fork is still consumed, keeping the streams aligned across
+      // fault configurations); the rest go to the dispatcher — thread pool,
+      // loopback workers, or TCP peers, all computing the same update.
+      std::vector<TrainJobSpec> jobs;
+      jobs.reserve(n_dispatched);
       for (std::size_t i = 0; i < n_dispatched; ++i) {
-        client_rngs.push_back(train_rng.fork());
-      }
-      std::vector<std::vector<float>> updated_params(n_dispatched);
-      std::vector<LocalTrainResult> results(n_dispatched);
-      obs::Span train_span("local_train_round", "fl");
-      parallel_for(0, n_dispatched, [&](std::size_t i) {
-        if (fate[i] != Fate::Pending) return;
-        obs::Span client_span("local_train", "fl");
-        obs::StopWatch client_clock;
+        const std::uint64_t job_seed = train_rng.next_u64();
+        if (fate[i] != Fate::Pending) continue;
         const std::size_t id = dispatched[i];
-        nn::Sequential local_model = model_factory_();
-        LocalTrainResult result;
+        TrainJobSpec job;
+        job.slot = i;
+        job.client_id = id;
+        job.epoch = epoch;
+        job.rng_seed = job_seed;
         if (config_.algorithm == LocalAlgorithm::FedProx) {
-          FedProxConfig prox;
-          prox.local = config_.local;
-          prox.mu = config_.fedprox_mu;
-          prox.work_fraction = fedprox_work_fraction(
+          job.work_fraction = fedprox_work_fraction(
               view[id].latency_s / std::max(min_latency, 1e-9),
               config_.fedprox_min_work);
-          result = train_local_fedprox(local_model, global_params,
-                                       dataset_.clients[id].train, prox,
-                                       client_rngs[i]);
-        } else {
-          local_model.set_parameters(global_params);
-          result = train_local(local_model, dataset_.clients[id].train,
-                               config_.local, client_rngs[i]);
         }
-        auto updated = local_model.get_parameters();
-        if (config_.compression.kind != CompressionKind::None) {
-          // Compress the delta the client uploads; the server reconstructs
-          // global + dense(delta). Residual state is per-client, and each
-          // client appears at most once per round, so this is race-free.
-          std::vector<float> delta(updated.size());
-          vec::diff(delta, updated, global_params);
-          const auto compressed =
-              compress_update(delta, config_.compression, residuals[id]);
-          for (std::size_t p = 0; p < updated.size(); ++p) {
-            updated[p] = global_params[p] + compressed.dense[p];
-          }
-        }
-        if (faults[i].kind == sim::FaultKind::Corruption) {
-          // Wire-level corruption: mangle the delta the server receives
-          // (client-side state, e.g. compression residuals, stays clean).
-          std::vector<float> delta(updated.size());
-          vec::diff(delta, updated, global_params);
-          fault_model_.corrupt(faults[i], delta);
-          for (std::size_t p = 0; p < updated.size(); ++p) {
-            updated[p] = global_params[p] + delta[p];
-          }
-        }
-        updated_params[i] = std::move(updated);
-        results[i] = result;
-        metrics.train_ms.observe(client_clock.lap_ms());
-      });
+        jobs.push_back(job);
+      }
+      std::vector<TrainOutcome> outcomes(n_dispatched);
+      obs::Span train_span("local_train_round", "fl");
+      dispatcher->execute(jobs, global_params, outcomes);
       phase.train_ms = phase_clock.lap_ms();
 
       // FedAvg: weighted average of the accepted updates, accumulated in
@@ -346,6 +320,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       obs::Span aggregate_span("aggregate", "fl");
       std::vector<double> accumulated(global_params.size(), 0.0);
       double total_weight = 0.0;
+      std::size_t arrived_updates = 0;  // frames received (incl. corrupt)
       for (std::size_t i = 0; i < n_dispatched; ++i) {
         const std::size_t id = dispatched[i];
         if (fate[i] == Fate::Crashed) {
@@ -369,7 +344,58 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           selector.report_failure(id, epoch, FailureKind::Timeout);
           continue;
         }
-        const auto& updated = updated_params[i];
+        TrainOutcome& outcome = outcomes[i];
+        if (!outcome.delivered) {
+          // Transport-level failure (never on the in-process path): map it
+          // onto the same accounting the simulated faults use, so selectors
+          // cannot tell real wire damage from injected faults.
+          switch (outcome.failure) {
+            case FailureKind::Timeout:
+              observed_times.push_back(deadline > 0.0 ? deadline
+                                                      : eff_latency[i]);
+              record.late.push_back(id);
+              obs::instant("client_late", "fault");
+              metrics.late.inc();
+              selector.report_failure(id, epoch, FailureKind::Timeout);
+              break;
+            case FailureKind::CorruptUpdate:
+              // A frame arrived (it counts as uplink) but its payload died.
+              ++arrived_updates;
+              observed_times.push_back(eff_latency[i]);
+              record.rejected.push_back(id);
+              obs::instant("update_rejected", "fault");
+              metrics.rejected.inc();
+              breakers[id].record_failure(epoch);
+              selector.report_failure(id, epoch, FailureKind::CorruptUpdate);
+              break;
+            case FailureKind::Crash: {
+              double observed = eff_latency[i];
+              if (deadline > 0.0) observed = std::min(observed, deadline);
+              observed_times.push_back(observed);
+              record.crashed.push_back(id);
+              obs::instant("client_crash", "fault");
+              metrics.crashed.inc();
+              breakers[id].record_failure(epoch);
+              selector.report_failure(id, epoch, FailureKind::Crash);
+              break;
+            }
+          }
+          continue;
+        }
+        ++arrived_updates;
+        std::vector<float> updated = std::move(outcome.updated);
+        if (faults[i].kind == sim::FaultKind::Corruption) {
+          // Wire-level corruption: mangle the delta the server receives
+          // (client-side state, e.g. compression residuals, stays clean).
+          // Applied post-receipt — the same pure function of the fault
+          // event and delta the old in-lambda path computed.
+          std::vector<float> corrupted(updated.size());
+          vec::diff(corrupted, updated, global_params);
+          fault_model_.corrupt(faults[i], corrupted);
+          for (std::size_t p = 0; p < updated.size(); ++p) {
+            updated[p] = global_params[p] + corrupted[p];
+          }
+        }
         // Parameter delta: input to validation and gradient-direction
         // schedulers alike.
         std::vector<float> delta(updated.size());
@@ -389,9 +415,9 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
             static_cast<double>(dataset_.clients[id].train.size());
         vec::accumulate_scaled(accumulated, updated, weight);
         total_weight += weight;
-        view[id].last_loss = results[i].average_loss;
+        view[id].last_loss = outcome.result.average_loss;
         breakers[id].record_success();
-        selector.report_result(id, results[i].average_loss, epoch);
+        selector.report_result(id, outcome.result.average_loss, epoch);
         selector.report_update(id, delta, epoch);
         record.selected.push_back(id);
       }
@@ -401,6 +427,17 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         }
       }
       phase.aggregate_ms = phase_clock.lap_ms();
+      // Round byte accounting: priced from the codecs' exact frame sizes
+      // (fl/protocol.hpp), identical whether the round ran in-process or
+      // over a transport — crashed/late clients still received the model
+      // (downlink), and every arriving frame (even a corrupt one) is
+      // uplink. The obs net_bytes_* counters separately measure what a
+      // transport actually moved.
+      record.downlink_bytes =
+          n_dispatched * train_job_frame_bytes(global_params.size());
+      record.uplink_bytes =
+          arrived_updates *
+          update_frame_bytes(global_params.size(), config_.compression);
     }
 
     const double round_duration = clock.advance_round(observed_times);

@@ -20,6 +20,7 @@
 #include "src/data/partition.hpp"
 #include "src/fl/client.hpp"
 #include "src/fl/compression.hpp"
+#include "src/fl/dispatch.hpp"
 #include "src/fl/fedprox.hpp"
 #include "src/fl/history.hpp"
 #include "src/fl/selector.hpp"
@@ -88,6 +89,11 @@ struct EngineConfig {
   /// experiments to mutate client data mid-training (§IV-C's changing
   /// distributions) — the engine reads datasets afresh each round.
   std::function<void(std::size_t epoch)> on_epoch_begin;
+  /// Where local training runs (non-owning; must outlive the trainer's run).
+  /// nullptr = in-process on the thread pool, bit-identical to the classic
+  /// engine. Point at a fl::TransportDispatcher (net_driver.hpp) to route
+  /// rounds through a net::Transport — loopback threads or TCP processes.
+  RoundDispatcher* dispatcher = nullptr;
 };
 
 class FederatedTrainer {

@@ -67,6 +67,18 @@ std::size_t TrainingHistory::total_wasted() const {
   return total;
 }
 
+std::size_t TrainingHistory::total_downlink_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.downlink_bytes;
+  return total;
+}
+
+std::size_t TrainingHistory::total_uplink_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.uplink_bytes;
+  return total;
+}
+
 std::size_t TrainingHistory::wasted_until_accuracy(double target) const {
   std::size_t total = 0;
   for (const auto& r : records_) {
@@ -95,6 +107,8 @@ std::string round_event_json(const char* engine, const RoundRecord& r) {
       .field("dispatched", r.dispatched)
       .field("aggregated", r.selected.size())
       .field("wasted", r.wasted())
+      .field("downlink_bytes", r.downlink_bytes)
+      .field("uplink_bytes", r.uplink_bytes)
       .field_raw("selected", obs::json_array(r.selected))
       .field_raw("crashed", obs::json_array(r.crashed))
       .field_raw("late", obs::json_array(r.late))

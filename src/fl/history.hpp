@@ -41,6 +41,12 @@ struct RoundRecord {
   std::vector<std::size_t> late;      ///< missed the deadline
   std::vector<std::size_t> rejected;  ///< update failed validation
 
+  // Communication accounting, in real wire bytes (full frames as the net
+  // codecs emit them — see fl/protocol.hpp pricing). Identical between an
+  // in-process round and the same round over a transport.
+  std::size_t downlink_bytes = 0;  ///< server -> clients (TrainJob frames)
+  std::size_t uplink_bytes = 0;    ///< clients -> server (ClientUpdate frames)
+
   /// Wall-clock phase breakdown (observability; zeros on untraced runs).
   PhaseTimings phase;
 
@@ -90,6 +96,12 @@ class TrainingHistory {
   /// Wasted client-rounds accumulated up to (and including) the first round
   /// whose accuracy reaches `target`; the full-run total if never reached.
   std::size_t wasted_until_accuracy(double target) const;
+
+  /// Total downlink wire bytes (TrainJob frames) across the run.
+  std::size_t total_downlink_bytes() const;
+
+  /// Total uplink wire bytes (ClientUpdate frames) across the run.
+  std::size_t total_uplink_bytes() const;
 
  private:
   std::vector<RoundRecord> records_;

@@ -1,0 +1,323 @@
+#include "src/fl/net_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.hpp"
+#include "src/fl/protocol.hpp"
+#include "src/net/wire.hpp"
+
+namespace haccs::fl {
+
+// ---------------------------------------------------------------------------
+// TransportDispatcher
+
+TransportDispatcher::TransportDispatcher(std::vector<net::Transport*> workers,
+                                         TransportDispatcherConfig config)
+    : workers_(std::move(workers)), config_(std::move(config)) {
+  if (workers_.empty()) {
+    throw std::invalid_argument("TransportDispatcher: no workers");
+  }
+  outstanding_.resize(workers_.size());
+}
+
+void TransportDispatcher::fail_front(std::size_t w, FailureKind kind,
+                                     std::vector<TrainOutcome>& outcomes) {
+  auto& queue = outstanding_[w];
+  if (queue.empty()) return;
+  TrainOutcome& out = outcomes[queue.front()];
+  out.delivered = false;
+  out.failure = kind;
+  queue.pop_front();
+}
+
+void TransportDispatcher::fail_all(std::size_t w, FailureKind kind,
+                                   std::vector<TrainOutcome>& outcomes) {
+  while (!outstanding_[w].empty()) fail_front(w, kind, outcomes);
+}
+
+bool TransportDispatcher::handle_frame(std::size_t w, const net::Frame& frame,
+                                       std::span<const TrainJobSpec> jobs,
+                                       const std::vector<float>& global_params,
+                                       std::vector<TrainOutcome>& outcomes) {
+  if (frame.type != net::MessageType::ClientUpdate) {
+    // Heartbeats and other control traffic are not update settlements.
+    return false;
+  }
+  net::ClientUpdateMsg msg;
+  try {
+    msg = net::decode_client_update(frame);
+  } catch (const net::WireError& e) {
+    // CRC passed but the payload is still unparseable (e.g. a
+    // version-skewed peer): charge it like wire damage.
+    HACCS_WARN << "undecodable ClientUpdate from " << workers_[w]->peer()
+               << ": " << e.what();
+    fail_front(w, FailureKind::CorruptUpdate, outcomes);
+    return true;
+  }
+  // Workers answer strictly FIFO, so this is normally the queue front; the
+  // search keeps a reordering (or duplicated) peer from mis-settling jobs.
+  auto& queue = outstanding_[w];
+  const auto it = std::find_if(
+      queue.begin(), queue.end(), [&](std::size_t slot) {
+        return jobs[slot].client_id == msg.client_id &&
+               jobs[slot].epoch == msg.epoch;
+      });
+  if (it == queue.end()) return false;  // stale or duplicate — drop
+  const std::size_t job_index = *it;
+  queue.erase(it);
+
+  TrainOutcome& out = outcomes[jobs[job_index].slot];
+  if (msg.update.size != global_params.size()) {
+    out.delivered = false;
+    out.failure = FailureKind::CorruptUpdate;
+    return true;
+  }
+  // Payload semantics (messages.hpp): Dense carries the updated parameters
+  // themselves; compressed kinds carry the delta, reconstructed with the
+  // same arithmetic the in-process path uses — bit-identical either way.
+  std::vector<float> updated;
+  if (msg.update.kind == net::UpdateKind::Dense) {
+    updated = std::move(msg.update.dense);
+  } else {
+    const auto dense = msg.update.to_dense();
+    updated.resize(dense.size());
+    for (std::size_t p = 0; p < dense.size(); ++p) {
+      updated[p] = global_params[p] + dense[p];
+    }
+  }
+  out.delivered = true;
+  out.updated = std::move(updated);
+  out.result.average_loss = msg.average_loss;
+  out.result.final_loss = msg.final_loss;
+  out.result.batches = static_cast<std::size_t>(msg.batches);
+  return true;
+}
+
+void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
+                                  const std::vector<float>& global_params,
+                                  std::vector<TrainOutcome>& outcomes) {
+  for (auto& queue : outstanding_) queue.clear();
+
+  // Fan out. After each send, drain whatever already came back so neither
+  // side ever sits blocked on a full buffer (a worker may be trying to send
+  // its update while we are still sending jobs).
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const TrainJobSpec& job = jobs[j];
+    const std::size_t w = job.client_id % workers_.size();
+    net::TrainJobMsg msg;
+    msg.epoch = job.epoch;
+    msg.client_id = static_cast<std::uint32_t>(job.client_id);
+    msg.rng_seed = job.rng_seed;
+    msg.algorithm = config_.work.fedprox ? 1 : 0;
+    msg.fedprox_mu = config_.work.fedprox_mu;
+    msg.work_fraction = job.work_fraction;
+    msg.local_epochs = config_.work.local.epochs;
+    msg.batch_size = config_.work.local.batch_size;
+    msg.learning_rate = config_.work.local.sgd.learning_rate;
+    msg.momentum = config_.work.local.sgd.momentum;
+    msg.weight_decay = config_.work.local.sgd.weight_decay;
+    msg.compression_kind =
+        static_cast<std::uint8_t>(config_.work.compression.kind);
+    msg.topk_fraction = config_.work.compression.topk_fraction;
+    msg.error_feedback = config_.work.compression.error_feedback ? 1 : 0;
+    msg.params = global_params;
+
+    const auto status =
+        workers_[w]->send(net::encode_train_job(msg), config_.send_timeout_ms);
+    if (status == net::TransportStatus::Ok) {
+      outstanding_[w].push_back(j);
+    } else {
+      TrainOutcome& out = outcomes[job.slot];
+      out.delivered = false;
+      out.failure = status == net::TransportStatus::Timeout
+                        ? FailureKind::Timeout
+                        : FailureKind::Crash;
+    }
+    for (;;) {
+      if (outstanding_[w].empty()) break;
+      net::Frame ready;
+      const auto rs = workers_[w]->recv(&ready, 0);
+      if (rs == net::TransportStatus::Ok) {
+        handle_frame(w, ready, jobs, global_params, outcomes);
+        continue;
+      }
+      if (rs == net::TransportStatus::Corrupt) {
+        fail_front(w, FailureKind::CorruptUpdate, outcomes);
+        continue;
+      }
+      break;  // Timeout = nothing ready yet; Closed is settled below
+    }
+  }
+
+  // Collect everything still outstanding, worker by worker.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    while (!outstanding_[w].empty()) {
+      net::Frame frame;
+      const auto status = workers_[w]->recv(&frame, config_.recv_timeout_ms);
+      if (status == net::TransportStatus::Ok) {
+        handle_frame(w, frame, jobs, global_params, outcomes);
+        continue;
+      }
+      if (status == net::TransportStatus::Corrupt) {
+        fail_front(w, FailureKind::CorruptUpdate, outcomes);
+        continue;
+      }
+      if (status == net::TransportStatus::Timeout) {
+        HACCS_WARN << "recv timeout from " << workers_[w]->peer() << "; "
+                   << outstanding_[w].size() << " job(s) abandoned";
+        fail_all(w, FailureKind::Timeout, outcomes);
+      } else {
+        HACCS_WARN << "transport to " << workers_[w]->peer() << " closed; "
+                   << outstanding_[w].size() << " job(s) abandoned";
+        fail_all(w, FailureKind::Crash, outcomes);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorkerLoop
+
+WorkerLoop::WorkerLoop(const data::FederatedDataset& dataset,
+                       std::function<nn::Sequential()> model_factory,
+                       net::Transport& transport, WorkerLoopConfig config)
+    : dataset_(dataset),
+      model_factory_(std::move(model_factory)),
+      transport_(transport),
+      config_(config),
+      residuals_(dataset.clients.size()) {}
+
+void WorkerLoop::handle_train_job(const net::TrainJobMsg& msg) {
+  if (msg.client_id >= dataset_.clients.size()) {
+    HACCS_WARN << "TrainJob for unknown client " << msg.client_id
+               << " (have " << dataset_.clients.size() << ")";
+    return;  // no reply; the server's deadline covers it
+  }
+  LocalWorkConfig work;
+  work.local.epochs = static_cast<std::size_t>(msg.local_epochs);
+  work.local.batch_size = static_cast<std::size_t>(msg.batch_size);
+  work.local.sgd.learning_rate = msg.learning_rate;
+  work.local.sgd.momentum = msg.momentum;
+  work.local.sgd.weight_decay = msg.weight_decay;
+  work.fedprox = msg.algorithm != 0;
+  work.fedprox_mu = msg.fedprox_mu;
+  work.compression.kind = static_cast<CompressionKind>(msg.compression_kind);
+  work.compression.topk_fraction = msg.topk_fraction;
+  work.compression.error_feedback = msg.error_feedback != 0;
+
+  TrainJobSpec job;
+  job.client_id = msg.client_id;
+  job.epoch = static_cast<std::size_t>(msg.epoch);
+  job.rng_seed = msg.rng_seed;
+  job.work_fraction = msg.work_fraction;
+
+  nn::Sequential model = model_factory_();
+  CompressedUpdate compressed;
+  TrainOutcome outcome =
+      run_local_job(job, dataset_.clients[msg.client_id].train, model,
+                    msg.params, work, residuals_[msg.client_id], &compressed);
+
+  net::ClientUpdateMsg reply;
+  reply.epoch = msg.epoch;
+  reply.client_id = msg.client_id;
+  reply.average_loss = outcome.result.average_loss;
+  reply.final_loss = outcome.result.final_loss;
+  reply.batches = outcome.result.batches;
+  reply.sample_count = dataset_.clients[msg.client_id].train.size();
+  const std::size_t n = outcome.updated.size();
+  if (work.compression.kind == CompressionKind::None) {
+    // Dense uplink ships the updated parameters themselves (messages.hpp).
+    CompressedUpdate dense;
+    dense.dense = std::move(outcome.updated);
+    reply.update = make_update_payload(dense, n, work.compression);
+  } else {
+    reply.update = make_update_payload(compressed, n, work.compression);
+  }
+  const auto status = transport_.send(net::encode_client_update(reply));
+  if (status != net::TransportStatus::Ok) {
+    HACCS_WARN << "worker " << config_.worker_id << " failed to send update: "
+               << net::to_string(status);
+  }
+}
+
+std::size_t WorkerLoop::run() {
+  std::size_t served = 0;
+  for (;;) {
+    net::Frame frame;
+    const auto status = transport_.recv(&frame, config_.recv_timeout_ms);
+    if (status == net::TransportStatus::Closed) break;
+    if (status == net::TransportStatus::Timeout) {
+      if (config_.exit_on_timeout) break;
+      continue;
+    }
+    if (status == net::TransportStatus::Corrupt) {
+      // A corrupt TrainJob cannot name its client, so there is nothing to
+      // answer; the server's recv deadline converts this into a Timeout
+      // failure on its side.
+      continue;
+    }
+    switch (frame.type) {
+      case net::MessageType::TrainJob:
+        try {
+          handle_train_job(net::decode_train_job(frame));
+          ++served;
+        } catch (const net::WireError& e) {
+          HACCS_WARN << "undecodable TrainJob: " << e.what();
+        }
+        break;
+      case net::MessageType::Shutdown:
+        return served;
+      default:
+        break;  // SelectNotice / EvalReport / Heartbeat: informational
+    }
+  }
+  return served;
+}
+
+// ---------------------------------------------------------------------------
+// LoopbackCluster
+
+LoopbackCluster::LoopbackCluster(const data::FederatedDataset& dataset,
+                                 std::function<nn::Sequential()> model_factory,
+                                 std::size_t num_workers,
+                                 const net::LoopbackOptions& options)
+    : served_(num_workers, 0) {
+  if (num_workers == 0) {
+    throw std::invalid_argument("LoopbackCluster: need at least one worker");
+  }
+  pairs_.reserve(num_workers);
+  loops_.reserve(num_workers);
+  threads_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    pairs_.push_back(net::make_loopback_pair(options));
+    WorkerLoopConfig cfg;
+    cfg.worker_id = static_cast<std::uint32_t>(i);
+    loops_.push_back(std::make_unique<WorkerLoop>(dataset, model_factory,
+                                                  *pairs_[i].b, cfg));
+  }
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { served_[i] = loops_[i]->run(); });
+  }
+}
+
+LoopbackCluster::~LoopbackCluster() { shutdown(); }
+
+std::vector<net::Transport*> LoopbackCluster::server_transports() const {
+  std::vector<net::Transport*> out;
+  out.reserve(pairs_.size());
+  for (const auto& pair : pairs_) out.push_back(pair.a.get());
+  return out;
+}
+
+void LoopbackCluster::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& pair : pairs_) pair.a->send(net::encode_shutdown());
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,140 @@
+// The protocol driver: FederatedTrainer rounds over a net::Transport.
+//
+// Three pieces:
+//   * TransportDispatcher — the server side of the dispatch seam. Serializes
+//     each TrainJobSpec as a TrainJob frame, fans jobs out over one or more
+//     worker transports (client_id % workers), and collects ClientUpdate
+//     frames with per-message timeouts. Transport failures surface as
+//     undelivered outcomes: Corrupt -> FailureKind::CorruptUpdate, Timeout
+//     -> Timeout, Closed -> Crash — the engine routes them into
+//     ClientSelector::report_failure exactly like simulated faults.
+//   * WorkerLoop — the worker side: receive TrainJob, run the identical
+//     local training (run_local_job with the job's forked RNG seed), reply
+//     with a ClientUpdate whose tensor body is the priced wire form. Holds
+//     per-client compression residuals across rounds, like the in-process
+//     dispatcher does.
+//   * LoopbackCluster — in-process worker threads over loopback transports:
+//     the full protocol (encode, CRC, decode) at memory speed. A loopback
+//     run is bit-identical to the direct in-process run for the same seed
+//     (pinned in tests/net_test.cpp); examples/haccs_server + haccs_worker
+//     run the same driver across real processes over TCP.
+//
+// Corrupt-frame attribution: a frame that fails its CRC cannot name its
+// client, but workers process jobs strictly FIFO per transport, so the
+// damage is charged to the oldest outstanding job on that transport.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/fl/dispatch.hpp"
+#include "src/net/loopback.hpp"
+#include "src/net/messages.hpp"
+#include "src/net/transport.hpp"
+
+namespace haccs::fl {
+
+struct TransportDispatcherConfig {
+  LocalWorkConfig work;
+  /// Per-frame send deadline, milliseconds (<0 = wait forever).
+  int send_timeout_ms = 30000;
+  /// Per-frame receive deadline while collecting updates (<0 = forever).
+  int recv_timeout_ms = 30000;
+};
+
+/// Server side: ships TrainJob frames, collects ClientUpdate frames.
+/// `workers` are non-owning; jobs are routed by client_id % workers.size().
+class TransportDispatcher final : public RoundDispatcher {
+ public:
+  TransportDispatcher(std::vector<net::Transport*> workers,
+                      TransportDispatcherConfig config);
+
+  void execute(std::span<const TrainJobSpec> jobs,
+               const std::vector<float>& global_params,
+               std::vector<TrainOutcome>& outcomes) override;
+
+ private:
+  /// Handles one frame received from worker `w`; returns true when it
+  /// settled an outstanding job.
+  bool handle_frame(std::size_t w, const net::Frame& frame,
+                    std::span<const TrainJobSpec> jobs,
+                    const std::vector<float>& global_params,
+                    std::vector<TrainOutcome>& outcomes);
+  void fail_front(std::size_t w, FailureKind kind,
+                  std::vector<TrainOutcome>& outcomes);
+  void fail_all(std::size_t w, FailureKind kind,
+                std::vector<TrainOutcome>& outcomes);
+
+  std::vector<net::Transport*> workers_;
+  TransportDispatcherConfig config_;
+  /// Outstanding job indices (into the execute() jobs span) per worker, in
+  /// send order — the FIFO that corrupt frames are attributed against.
+  std::vector<std::deque<std::size_t>> outstanding_;
+};
+
+struct WorkerLoopConfig {
+  std::uint32_t worker_id = 0;
+  /// Receive deadline while idle (<0 = wait forever for the next job).
+  int recv_timeout_ms = -1;
+  /// Exit run() when an idle receive times out (otherwise keep waiting).
+  bool exit_on_timeout = false;
+};
+
+/// Worker side: serves TrainJob frames until Shutdown or the transport
+/// closes. One WorkerLoop instance must persist across rounds — it owns the
+/// per-client error-feedback residuals.
+class WorkerLoop {
+ public:
+  WorkerLoop(const data::FederatedDataset& dataset,
+             std::function<nn::Sequential()> model_factory,
+             net::Transport& transport, WorkerLoopConfig config = {});
+
+  /// Serves until shutdown; returns the number of jobs completed.
+  std::size_t run();
+
+ private:
+  void handle_train_job(const net::TrainJobMsg& msg);
+
+  const data::FederatedDataset& dataset_;
+  std::function<nn::Sequential()> model_factory_;
+  net::Transport& transport_;
+  WorkerLoopConfig config_;
+  std::vector<std::vector<float>> residuals_;
+};
+
+/// In-process worker fleet over loopback transports. Spawns one thread per
+/// worker, each running a WorkerLoop on the B end of a loopback pair; the
+/// A ends are handed to a TransportDispatcher via server_transports().
+/// The destructor sends Shutdown to every worker and joins the threads.
+class LoopbackCluster {
+ public:
+  LoopbackCluster(const data::FederatedDataset& dataset,
+                  std::function<nn::Sequential()> model_factory,
+                  std::size_t num_workers,
+                  const net::LoopbackOptions& options = {});
+  ~LoopbackCluster();
+
+  LoopbackCluster(const LoopbackCluster&) = delete;
+  LoopbackCluster& operator=(const LoopbackCluster&) = delete;
+
+  std::vector<net::Transport*> server_transports() const;
+
+  /// Jobs completed by worker `i` so far (valid after shutdown()/dtor join).
+  std::size_t jobs_served(std::size_t i) const { return served_.at(i); }
+
+  /// Sends Shutdown and joins all workers (idempotent; dtor calls it).
+  void shutdown();
+
+ private:
+  std::vector<net::LoopbackPair> pairs_;
+  std::vector<std::unique_ptr<WorkerLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::vector<std::size_t> served_;
+  bool stopped_ = false;
+};
+
+}  // namespace haccs::fl

@@ -1,0 +1,66 @@
+#include "src/fl/protocol.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace haccs::fl {
+
+net::UpdateKind to_update_kind(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::None: return net::UpdateKind::Dense;
+    case CompressionKind::TopK: return net::UpdateKind::SparseTopK;
+    case CompressionKind::Int8: return net::UpdateKind::Int8;
+  }
+  throw std::invalid_argument("to_update_kind: bad kind");
+}
+
+CompressionKind to_compression_kind(net::UpdateKind kind) {
+  switch (kind) {
+    case net::UpdateKind::Dense: return CompressionKind::None;
+    case net::UpdateKind::SparseTopK: return CompressionKind::TopK;
+    case net::UpdateKind::Int8: return CompressionKind::Int8;
+  }
+  throw std::invalid_argument("to_compression_kind: bad kind");
+}
+
+net::UpdatePayload make_update_payload(const CompressedUpdate& compressed,
+                                       std::size_t n,
+                                       const CompressionConfig& config) {
+  net::UpdatePayload payload;
+  payload.kind = to_update_kind(config.kind);
+  payload.size = n;
+  switch (config.kind) {
+    case CompressionKind::None:
+      payload.dense = compressed.dense;
+      break;
+    case CompressionKind::TopK:
+      payload.indices = compressed.topk_indices;
+      payload.values = compressed.topk_values;
+      break;
+    case CompressionKind::Int8:
+      payload.codes = compressed.int8_codes;
+      payload.lo = compressed.int8_lo;
+      payload.step = compressed.int8_step;
+      break;
+  }
+  // The consistency contract: what the latency model priced is what ships.
+  const std::size_t actual = net::update_body_bytes(payload);
+  const std::size_t priced = compressed_wire_bytes(n, config);
+  if (actual != priced) {
+    throw std::logic_error(
+        "make_update_payload: codec emits " + std::to_string(actual) +
+        " bytes but compressed_wire_bytes prices " + std::to_string(priced));
+  }
+  return payload;
+}
+
+std::size_t train_job_frame_bytes(std::size_t n) {
+  return net::train_job_overhead_bytes() + n * sizeof(float);
+}
+
+std::size_t update_frame_bytes(std::size_t n,
+                               const CompressionConfig& config) {
+  return net::client_update_overhead_bytes() + compressed_wire_bytes(n, config);
+}
+
+}  // namespace haccs::fl

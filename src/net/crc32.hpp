@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// check shared by every wire frame and by nn::serialize checkpoints.
+//
+// A CRC is the right tool here (vs a cryptographic hash): frames cross
+// sockets and disks where the threat model is bit rot and truncation, not an
+// adversary, and a table-driven CRC costs ~1 cycle/byte. The incremental
+// form (seed with a previous crc) lets the TCP transport checksum a frame
+// without first gathering it into one buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace haccs::net {
+
+/// CRC-32 of `data[0..len)`. Pass a previous result as `seed` to extend a
+/// running checksum across several buffers; the default seed starts fresh.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace haccs::net

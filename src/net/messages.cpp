@@ -1,0 +1,319 @@
+#include "src/net/messages.hpp"
+
+#include "src/net/wire.hpp"
+
+namespace haccs::net {
+
+namespace {
+
+/// Decoder entry: checks the frame's type tag before parsing.
+WireReader reader_for(const Frame& frame, MessageType expected,
+                      const char* what) {
+  if (frame.type != expected) {
+    throw WireError(std::string("decode: frame is not a ") + what);
+  }
+  return WireReader(frame.payload);
+}
+
+/// Update payload: kind u8, dense-size u64, element-count u64, then the body
+/// (which is exactly the bytes fl::compressed_wire_bytes prices — see
+/// update_body_bytes).
+void encode_update_payload(WireWriter& w, const UpdatePayload& p) {
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u64(p.size);
+  switch (p.kind) {
+    case UpdateKind::Dense:
+      if (p.dense.size() != p.size) {
+        throw WireError("encode: dense update size mismatch");
+      }
+      w.u64(p.dense.size());
+      for (float v : p.dense) w.f32(v);
+      return;
+    case UpdateKind::SparseTopK:
+      if (p.indices.size() != p.values.size()) {
+        throw WireError("encode: top-k index/value arity mismatch");
+      }
+      w.u64(p.indices.size());
+      for (std::uint32_t i : p.indices) w.u32(i);
+      for (float v : p.values) w.f32(v);
+      return;
+    case UpdateKind::Int8:
+      if (p.codes.size() != p.size) {
+        throw WireError("encode: int8 update size mismatch");
+      }
+      w.u64(p.codes.size());
+      w.f32(p.lo);
+      w.f32(p.step);
+      w.bytes(p.codes.data(), p.codes.size());
+      return;
+  }
+  throw WireError("encode: bad update kind");
+}
+
+UpdatePayload decode_update_payload(WireReader& r) {
+  UpdatePayload p;
+  const auto kind = r.u8();
+  p.size = r.u64();
+  const std::uint64_t count = r.u64();
+  switch (static_cast<UpdateKind>(kind)) {
+    case UpdateKind::Dense: {
+      p.kind = UpdateKind::Dense;
+      if (count != p.size) throw WireError("decode: dense count mismatch");
+      if (count > r.remaining() / sizeof(float)) {
+        throw WireError("decode: dense update exceeds payload");
+      }
+      p.dense.resize(static_cast<std::size_t>(count));
+      for (auto& v : p.dense) v = r.f32();
+      return p;
+    }
+    case UpdateKind::SparseTopK: {
+      p.kind = UpdateKind::SparseTopK;
+      if (count > p.size || count > r.remaining() / 8) {
+        throw WireError("decode: top-k count exceeds payload");
+      }
+      p.indices.resize(static_cast<std::size_t>(count));
+      p.values.resize(static_cast<std::size_t>(count));
+      for (auto& i : p.indices) {
+        i = r.u32();
+        if (i >= p.size) throw WireError("decode: top-k index out of range");
+      }
+      for (auto& v : p.values) v = r.f32();
+      return p;
+    }
+    case UpdateKind::Int8: {
+      p.kind = UpdateKind::Int8;
+      if (count != p.size) throw WireError("decode: int8 count mismatch");
+      p.lo = r.f32();
+      p.step = r.f32();
+      if (count > r.remaining()) {
+        throw WireError("decode: int8 update exceeds payload");
+      }
+      p.codes.resize(static_cast<std::size_t>(count));
+      for (auto& c : p.codes) c = r.u8();
+      return p;
+    }
+  }
+  throw WireError("decode: bad update kind");
+}
+
+}  // namespace
+
+std::vector<float> UpdatePayload::to_dense() const {
+  const auto n = static_cast<std::size_t>(size);
+  switch (kind) {
+    case UpdateKind::Dense:
+      return dense;
+    case UpdateKind::SparseTopK: {
+      std::vector<float> out(n, 0.0f);
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        out[indices[i]] = values[i];
+      }
+      return out;
+    }
+    case UpdateKind::Int8: {
+      std::vector<float> out(n);
+      // The exact arithmetic the compressor used for its own dense view —
+      // dequantization on the server matches the client bit for bit.
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = lo + static_cast<float>(codes[i]) * step;
+      }
+      return out;
+    }
+  }
+  throw WireError("to_dense: bad update kind");
+}
+
+std::size_t update_body_bytes(const UpdatePayload& payload) {
+  switch (payload.kind) {
+    case UpdateKind::Dense:
+      return payload.dense.size() * sizeof(float);
+    case UpdateKind::SparseTopK:
+      return payload.indices.size() * (sizeof(std::uint32_t) + sizeof(float));
+    case UpdateKind::Int8:
+      return payload.codes.size() + 2 * sizeof(float);
+  }
+  throw WireError("update_body_bytes: bad update kind");
+}
+
+Frame encode_hello(const HelloMsg& msg) {
+  WireWriter w;
+  w.u32(msg.worker_id);
+  w.u32(msg.num_clients);
+  return Frame{MessageType::Hello, w.take()};
+}
+
+HelloMsg decode_hello(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::Hello, "Hello");
+  HelloMsg msg;
+  msg.worker_id = r.u32();
+  msg.num_clients = r.u32();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_train_job(const TrainJobMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.u32(msg.client_id);
+  w.u64(msg.rng_seed);
+  w.u8(msg.algorithm);
+  w.f64(msg.fedprox_mu);
+  w.f64(msg.work_fraction);
+  w.u64(msg.local_epochs);
+  w.u64(msg.batch_size);
+  w.f64(msg.learning_rate);
+  w.f64(msg.momentum);
+  w.f64(msg.weight_decay);
+  w.u8(msg.compression_kind);
+  w.f64(msg.topk_fraction);
+  w.u8(msg.error_feedback);
+  w.f32_array(msg.params);
+  return Frame{MessageType::TrainJob, w.take()};
+}
+
+TrainJobMsg decode_train_job(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::TrainJob, "TrainJob");
+  TrainJobMsg msg;
+  msg.epoch = r.u64();
+  msg.client_id = r.u32();
+  msg.rng_seed = r.u64();
+  msg.algorithm = r.u8();
+  msg.fedprox_mu = r.f64();
+  msg.work_fraction = r.f64();
+  msg.local_epochs = r.u64();
+  msg.batch_size = r.u64();
+  msg.learning_rate = r.f64();
+  msg.momentum = r.f64();
+  msg.weight_decay = r.f64();
+  msg.compression_kind = r.u8();
+  msg.topk_fraction = r.f64();
+  msg.error_feedback = r.u8();
+  msg.params = r.f32_array();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_client_update(const ClientUpdateMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.u32(msg.client_id);
+  w.f64(msg.average_loss);
+  w.f64(msg.final_loss);
+  w.u64(msg.batches);
+  w.u64(msg.sample_count);
+  encode_update_payload(w, msg.update);
+  return Frame{MessageType::ClientUpdate, w.take()};
+}
+
+ClientUpdateMsg decode_client_update(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::ClientUpdate, "ClientUpdate");
+  ClientUpdateMsg msg;
+  msg.epoch = r.u64();
+  msg.client_id = r.u32();
+  msg.average_loss = r.f64();
+  msg.final_loss = r.f64();
+  msg.batches = r.u64();
+  msg.sample_count = r.u64();
+  msg.update = decode_update_payload(r);
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_select_notice(const SelectNoticeMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.f64(msg.deadline_s);
+  w.u32_array(msg.clients);
+  return Frame{MessageType::SelectNotice, w.take()};
+}
+
+SelectNoticeMsg decode_select_notice(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::SelectNotice, "SelectNotice");
+  SelectNoticeMsg msg;
+  msg.epoch = r.u64();
+  msg.deadline_s = r.f64();
+  msg.clients = r.u32_array();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_heartbeat(const HeartbeatMsg& msg) {
+  WireWriter w;
+  w.u32(msg.sender_id);
+  w.u64(msg.epoch);
+  return Frame{MessageType::Heartbeat, w.take()};
+}
+
+HeartbeatMsg decode_heartbeat(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::Heartbeat, "Heartbeat");
+  HeartbeatMsg msg;
+  msg.sender_id = r.u32();
+  msg.epoch = r.u64();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_eval_report(const EvalReportMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.f64(msg.accuracy);
+  w.f64(msg.loss);
+  return Frame{MessageType::EvalReport, w.take()};
+}
+
+EvalReportMsg decode_eval_report(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::EvalReport, "EvalReport");
+  EvalReportMsg msg;
+  msg.epoch = r.u64();
+  msg.accuracy = r.f64();
+  msg.loss = r.f64();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_summary(const SummaryMsg& msg) {
+  WireWriter w;
+  w.u32(msg.client_id);
+  w.u8(msg.kind);
+  w.f64(msg.lo);
+  w.f64(msg.hi);
+  w.u64(msg.tables.size());
+  for (const auto& table : msg.tables) w.f64_array(table);
+  w.f64_array(msg.mass);
+  return Frame{MessageType::Summary, w.take()};
+}
+
+SummaryMsg decode_summary(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::Summary, "Summary");
+  SummaryMsg msg;
+  msg.client_id = r.u32();
+  msg.kind = r.u8();
+  msg.lo = r.f64();
+  msg.hi = r.f64();
+  const std::uint64_t rows = r.u64();
+  // Each row costs at least its 8-byte count on the wire.
+  if (rows > r.remaining() / sizeof(std::uint64_t)) {
+    throw WireError("decode: summary table count exceeds payload");
+  }
+  msg.tables.resize(static_cast<std::size_t>(rows));
+  for (auto& table : msg.tables) table = r.f64_array();
+  msg.mass = r.f64_array();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_shutdown() { return Frame{MessageType::Shutdown, {}}; }
+
+std::size_t train_job_overhead_bytes() {
+  // frame header + fixed fields + the params array's 8-byte count; the
+  // params data itself (4 bytes per parameter) is the variable part.
+  return kFrameHeaderBytes + 95;
+}
+
+std::size_t client_update_overhead_bytes() {
+  // frame header + fixed fields + update kind/size/count tags; the tensor
+  // body (update_body_bytes == fl::compressed_wire_bytes) is the rest.
+  return kFrameHeaderBytes + 61;
+}
+
+}  // namespace haccs::net

@@ -1,0 +1,166 @@
+// Little-endian wire primitives: WireWriter appends scalars/arrays to a byte
+// buffer, WireReader consumes them with bounds checking.
+//
+// Floats travel as their IEEE-754 bit patterns (std::bit_cast), so NaN and
+// Inf payloads round-trip bit-exactly — a corrupted client update must
+// arrive unmodified for server-side validation to reject it for the right
+// reason (fl::update_is_valid), not be laundered by the codec. All multi-
+// byte values are little-endian on the wire regardless of host order; on the
+// little-endian hosts we target this compiles to plain loads/stores.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace haccs::net {
+
+/// Thrown by WireReader on truncated or over-long payloads. Distinct from
+/// std::runtime_error so transports can map it to a Corrupt verdict.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void f32(float v) { put_le(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Raw bytes, no length prefix (callers write the count themselves).
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+
+  /// Length-prefixed (u64 count) element arrays.
+  void f32_array(std::span<const float> v) {
+    u64(v.size());
+    for (float x : v) f32(x);
+  }
+  void f64_array(std::span<const double> v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+  void u32_array(std::span<const std::uint32_t> v) {
+    u64(v.size());
+    for (std::uint32_t x : v) u32(x);
+  }
+  void u8_array(std::span<const std::uint8_t> v) {
+    u64(v.size());
+    bytes(v.data(), v.size());
+  }
+  void string(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& data() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  float f32() { return std::bit_cast<float>(take_le<std::uint32_t>()); }
+  double f64() { return std::bit_cast<double>(take_le<std::uint64_t>()); }
+
+  std::vector<float> f32_array() {
+    const std::uint64_t n = checked_count(u64(), sizeof(float));
+    std::vector<float> out(static_cast<std::size_t>(n));
+    for (auto& x : out) x = f32();
+    return out;
+  }
+  std::vector<double> f64_array() {
+    const std::uint64_t n = checked_count(u64(), sizeof(double));
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (auto& x : out) x = f64();
+    return out;
+  }
+  std::vector<std::uint32_t> u32_array() {
+    const std::uint64_t n = checked_count(u64(), sizeof(std::uint32_t));
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(n));
+    for (auto& x : out) x = u32();
+    return out;
+  }
+  std::vector<std::uint8_t> u8_array() {
+    const std::uint64_t n = checked_count(u64(), 1);
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(n));
+    copy_bytes(out.data(), out.size());
+    return out;
+  }
+  std::string string() {
+    const std::uint64_t n = checked_count(u64(), 1);
+    std::string out(static_cast<std::size_t>(n), '\0');
+    copy_bytes(out.data(), out.size());
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws WireError unless every byte was consumed — a well-formed decoder
+  /// must account for the entire payload (trailing garbage means the frame
+  /// does not hold what its type tag claims).
+  void expect_exhausted() const {
+    if (remaining() != 0) {
+      throw WireError("wire: " + std::to_string(remaining()) +
+                      " unconsumed payload bytes");
+    }
+  }
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (remaining() < sizeof(T)) throw WireError("wire: truncated payload");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Validates a declared element count against the bytes actually present
+  /// before allocating (a corrupt count must not drive a huge allocation).
+  std::uint64_t checked_count(std::uint64_t n, std::size_t elem_size) {
+    if (n > remaining() / elem_size) {
+      throw WireError("wire: declared array exceeds payload");
+    }
+    return n;
+  }
+
+  void copy_bytes(void* dst, std::size_t len) {
+    if (remaining() < len) throw WireError("wire: truncated payload");
+    if (len > 0) std::memcpy(dst, data_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace haccs::net

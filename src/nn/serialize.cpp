@@ -2,41 +2,32 @@
 
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
+
+#include "src/net/frame.hpp"
+#include "src/net/wire.hpp"
 
 namespace haccs::nn {
 
 namespace {
-constexpr char kMagic[4] = {'H', 'C', 'C', 'S'};
-constexpr std::uint32_t kVersion = 1;
-}  // namespace
+// Pre-frame checkpoint format (v1): "HCCS", u32 version, u64 count, floats.
+// Still readable; new checkpoints are net frames (see save_parameters).
+constexpr char kLegacyMagic[4] = {'H', 'C', 'C', 'S'};
+constexpr std::uint32_t kLegacyVersion = 1;
 
-void save_parameters(const Sequential& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
-  const auto params = model.get_parameters();
-  const auto count = static_cast<std::uint64_t>(params.size());
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(params.size() * sizeof(float)));
-  if (!out) throw std::runtime_error("save_parameters: write failed: " + path);
-}
-
-std::vector<float> load_parameters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+std::vector<float> load_legacy(std::ifstream& in, const std::string& path) {
   char magic[4];
   std::uint32_t version = 0;
   std::uint64_t count = 0;
   in.read(magic, sizeof(magic));
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_parameters: not a HACCS checkpoint: " + path);
+  if (!in || std::memcmp(magic, kLegacyMagic, sizeof(kLegacyMagic)) != 0) {
+    throw std::runtime_error("load_parameters: not a HACCS checkpoint: " +
+                             path);
   }
-  if (version != kVersion) {
+  if (version != kLegacyVersion) {
     throw std::runtime_error("load_parameters: unsupported version " +
                              std::to_string(version));
   }
@@ -47,11 +38,71 @@ std::vector<float> load_parameters(const std::string& path) {
   std::vector<float> params(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(params.data()),
           static_cast<std::streamsize>(params.size() * sizeof(float)));
-  if (!in || in.gcount() !=
-                 static_cast<std::streamsize>(params.size() * sizeof(float))) {
+  if (!in || in.gcount() != static_cast<std::streamsize>(params.size() *
+                                                         sizeof(float))) {
     throw std::runtime_error("load_parameters: truncated file: " + path);
   }
   return params;
+}
+}  // namespace
+
+void save_parameters(const Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  net::WireWriter w;
+  w.f32_array(model.get_parameters());
+  const auto encoded =
+      net::encode_frame(net::Frame{net::MessageType::Checkpoint, w.take()});
+  out.write(reinterpret_cast<const char*>(encoded.data()),
+            static_cast<std::streamsize>(encoded.size()));
+  if (!out) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+std::vector<float> load_parameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  // Peek the magic to route between the frame format and legacy v1 files.
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in) {
+    throw std::runtime_error("load_parameters: not a HACCS checkpoint: " +
+                             path);
+  }
+  in.seekg(0);
+  if (std::memcmp(magic, kLegacyMagic, sizeof(kLegacyMagic)) == 0) {
+    return load_legacy(in, path);
+  }
+
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  net::Frame frame;
+  switch (net::decode_frame(bytes, &frame)) {
+    case net::FrameStatus::Ok:
+      break;
+    case net::FrameStatus::NeedMore:
+      throw std::runtime_error("load_parameters: truncated checkpoint: " +
+                               path);
+    case net::FrameStatus::BadChecksum:
+      throw std::runtime_error(
+          "load_parameters: checkpoint CRC mismatch (corrupt file): " + path);
+    default:
+      throw std::runtime_error("load_parameters: not a HACCS checkpoint: " +
+                               path);
+  }
+  if (frame.type != net::MessageType::Checkpoint) {
+    throw std::runtime_error("load_parameters: frame is not a checkpoint: " +
+                             path);
+  }
+  try {
+    net::WireReader r(frame.payload);
+    auto params = r.f32_array();
+    r.expect_exhausted();
+    return params;
+  } catch (const net::WireError& e) {
+    throw std::runtime_error(std::string("load_parameters: malformed "
+                                         "checkpoint payload: ") +
+                             e.what());
+  }
 }
 
 void load_into(Sequential& model, const std::string& path) {

@@ -1,10 +1,17 @@
 // Model checkpointing: binary save/load of flat parameter vectors.
 //
-// Format (little-endian): magic "HCCS", u32 version, u64 count, then
-// `count` IEEE-754 float32 values. The architecture itself is code (model
-// factories are deterministic in their seed), so checkpoints store only the
-// parameters — the caller pairs a checkpoint with the factory that produced
-// the model, and mismatched sizes fail loudly at load/set time.
+// A checkpoint is one net wire frame (frame.hpp): the "HNET" header with
+// type MessageType::Checkpoint and a CRC-32 over the payload, whose body is
+// a length-prefixed float32 array. Sharing the frame format with the
+// transport layer means checkpoints get the same integrity checking as
+// network traffic — truncation, header damage, and payload corruption each
+// fail loudly at load with a distinct message. Files written by the
+// pre-frame "HCCS" v1 format are still readable.
+//
+// The architecture itself is code (model factories are deterministic in
+// their seed), so checkpoints store only the parameters — the caller pairs
+// a checkpoint with the factory that produced the model, and mismatched
+// sizes fail loudly at load/set time.
 #pragma once
 
 #include <cstdint>

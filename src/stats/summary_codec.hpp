@@ -1,0 +1,35 @@
+// Bridge between the stats summaries and the net wire format (paper §IV-A:
+// clients upload distribution summaries once, before training).
+//
+// net::SummaryMsg is deliberately generic — kind tag, value range, a list of
+// double tables, a mass vector — so src/net never depends on src/stats. This
+// header maps the three concrete summary types onto it:
+//   * ResponseSummary      -> one table row (the P(y) label counts)
+//   * ConditionalSummary   -> one row per label (P(X|y) bin counts), lo/hi
+//                             carrying the binning range
+//   * QuantileSummary      -> one row per label (the quantiles) + mass
+// Decoders throw net::WireError on a kind mismatch or malformed tables, the
+// same failure surface as the payload codecs.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/messages.hpp"
+#include "src/stats/summary.hpp"
+
+namespace haccs::stats {
+
+net::SummaryMsg encode_summary_msg(std::uint32_t client_id,
+                                   const ResponseSummary& summary);
+net::SummaryMsg encode_summary_msg(std::uint32_t client_id,
+                                   const ConditionalSummary& summary,
+                                   const ConditionalSummaryConfig& config);
+net::SummaryMsg encode_summary_msg(std::uint32_t client_id,
+                                   const QuantileSummary& summary,
+                                   const QuantileSummaryConfig& config);
+
+ResponseSummary decode_response_summary(const net::SummaryMsg& msg);
+ConditionalSummary decode_conditional_summary(const net::SummaryMsg& msg);
+QuantileSummary decode_quantile_summary(const net::SummaryMsg& msg);
+
+}  // namespace haccs::stats

@@ -4,7 +4,8 @@
 # 200-round haccs_run whose machine-readable summary (wall time, TTA, wasted
 # client-rounds) is the tracked e2e baseline.
 #
-# Usage: tools/bench.sh [output.json] [--filter=REGEX] [--skip-e2e] [--e2e-only]
+# Usage: tools/bench.sh [output.json] [--filter=REGEX] [--skip-e2e]
+#        [--e2e-only] [--skip-net] [--net-only]
 #
 #   output.json   where to write the google-benchmark JSON
 #                 (default: BENCH_kernels.json at the repo root — the
@@ -15,6 +16,10 @@
 #                 FedAvg accumulation)
 #   --skip-e2e    kernel micro benchmarks only
 #   --e2e-only    end-to-end run only (writes BENCH_e2e.json)
+#   --skip-net    skip the wire-protocol benchmarks
+#   --net-only    wire-protocol benchmarks only (writes BENCH_net.json —
+#                 CRC32 throughput plus ClientUpdate encode/decode for each
+#                 compression kind; regenerate when src/net codecs change)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,13 +27,17 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 out="$repo/BENCH_kernels.json"
 filter='BM_Gemm|BM_Conv2d|BM_MlpTrainStep|BM_Evaluation|BM_FedAvgAccumulate'
+net_filter='BM_Crc32|BM_EncodeUpdate|BM_DecodeUpdate'
 run_micro=1
 run_e2e=1
+run_net=1
 for arg in "$@"; do
   case "$arg" in
     --filter=*) filter="${arg#--filter=}" ;;
     --skip-e2e) run_e2e=0 ;;
-    --e2e-only) run_micro=0 ;;
+    --e2e-only) run_micro=0; run_net=0 ;;
+    --skip-net) run_net=0 ;;
+    --net-only) run_micro=0; run_e2e=0 ;;
     *) out="$arg" ;;
   esac
 done
@@ -44,6 +53,18 @@ if [[ "$run_micro" -eq 1 ]]; then
     --benchmark_repetitions=1
 
   echo "wrote $out"
+fi
+
+if [[ "$run_net" -eq 1 ]]; then
+  cmake --build "$repo/build" -j "$jobs" --target micro
+
+  "$repo/build/bench/micro" \
+    --benchmark_filter="$net_filter" \
+    --benchmark_out="$repo/BENCH_net.json" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+
+  echo "wrote $repo/BENCH_net.json"
 fi
 
 if [[ "$run_e2e" -eq 1 ]]; then

@@ -60,6 +60,45 @@ echo "== telemetry off: selector output byte-identical =="
 diff "$obs_dir/plain_curve.csv" "$obs_dir/traced_curve.csv"
 echo "curves identical"
 
+echo "== multi-process smoke: 2 workers over TCP == single-process run =="
+# Same workload three ways: haccs_server + 2 haccs_worker processes on an
+# ephemeral localhost port, versus the in-process haccs_run. The run is
+# bit-identical by design (jobs carry the engine's forked RNG seeds), so the
+# final accuracies must match exactly, not approximately.
+cmake --build "$repo/build" -j "$jobs" --target haccs_server haccs_worker haccs_run
+net_flags=(--rounds=6 --clients=12 --per-round=4 --classes=6 --seed=7)
+rm -f "$obs_dir/port"
+timeout 120 "$repo/build/examples/haccs_server" \
+  --workers=2 --port=0 --port-file="$obs_dir/port" \
+  --summary-json="$obs_dir/net_server.json" "${net_flags[@]}" &
+server_pid=$!
+timeout 120 "$repo/build/examples/haccs_worker" \
+  --worker-id=0 --workers=2 --port-file="$obs_dir/port" "${net_flags[@]}" &
+w0_pid=$!
+timeout 120 "$repo/build/examples/haccs_worker" \
+  --worker-id=1 --workers=2 --port-file="$obs_dir/port" "${net_flags[@]}" &
+w1_pid=$!
+wait "$server_pid" && wait "$w0_pid" && wait "$w1_pid"
+"$repo/build/tools/haccs_run" \
+  --strategy=haccs-py --log-level=warn \
+  --summary-json="$obs_dir/net_direct.json" "${net_flags[@]}"
+if command -v python3 >/dev/null; then
+  python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+tcp = json.load(open(obs_dir + "/net_server.json"))
+direct = json.load(open(obs_dir + "/net_direct.json"))
+assert tcp["final_accuracy"] == direct["final_accuracy"], (tcp, direct)
+assert tcp["uplink_bytes"] == direct["uplink_bytes"], (tcp, direct)
+assert tcp["downlink_bytes"] == direct["downlink_bytes"], (tcp, direct)
+assert tcp["net_bytes_sent"] >= tcp["downlink_bytes"]
+print(f"multi-process OK: final_accuracy={tcp['final_accuracy']} both ways, "
+      f"{tcp['net_bytes_sent']} bytes over the wire")
+EOF
+else
+  echo "python3 not found; skipping multi-process summary comparison"
+fi
+
 if [[ "$skip_sanitize" -eq 0 ]]; then
   echo "== tier-1: ASan+UBSan build =="
   run_suite "$repo/build-sanitize" -DHACCS_SANITIZE=address,undefined
@@ -72,6 +111,13 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   HACCS_KERNEL_TEST_ITERS=150 HACCS_PORTABLE_KERNELS=1 \
     "$repo/build-sanitize/tests/haccs_tests" --gtest_filter='Kernels.*'
 
+  # Wire protocol + transports under ASan+UBSan: codec buffer arithmetic,
+  # the incremental frame parser, and the TCP/loopback paths all do manual
+  # byte-offset work — exactly where out-of-bounds bugs hide.
+  echo "== net protocol under ASan+UBSan =="
+  "$repo/build-sanitize/tests/haccs_tests" \
+    --gtest_filter='Crc32.*:Wire.*:Frame*.*:NetCodec.*:SummaryCodec.*:Checkpoint.*:Loopback.*:Tcp.*'
+
   # Observability subsystem under TSan: the trace buffer, metrics registry,
   # and event log are the only components mutated concurrently from the
   # thread pool *and* arbitrary user threads, so they get a dedicated
@@ -80,6 +126,14 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   cmake -B "$repo/build-tsan" -S "$repo" -DHACCS_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" --target haccs_tests
   "$repo/build-tsan/tests/haccs_tests" --gtest_filter='ObsTest.*'
+
+  # Transports under TSan: the loopback queues and the LoopbackCluster
+  # worker threads are the net layer's concurrent surface (TCP I/O is
+  # single-threaded per connection; the cluster drives real cross-thread
+  # frame traffic through the same dispatcher the server binary uses).
+  echo "== net transports under TSan =="
+  "$repo/build-tsan/tests/haccs_tests" \
+    --gtest_filter='Loopback.*:Tcp.*:TransportDispatcher.*:EngineOverTransport.*'
 fi
 
 echo "== all checks passed =="

@@ -204,6 +204,10 @@ int main(int argc, char** argv) {
   summary.add_row({"final_accuracy", Table::num(history.final_accuracy(), 4)});
   summary.add_row({"best_accuracy", Table::num(history.best_accuracy(), 4)});
   summary.add_row({"total_sim_time_s", Table::num(history.total_time(), 1)});
+  summary.add_row(
+      {"uplink_bytes", std::to_string(history.total_uplink_bytes())});
+  summary.add_row(
+      {"downlink_bytes", std::to_string(history.total_downlink_bytes())});
   for (double t : targets) {
     summary.add_row({"tta@" + Table::num(100 * t, 0) + "%",
                      fl::format_tta(history.time_to_accuracy(t))});
@@ -267,6 +271,8 @@ int main(int argc, char** argv) {
         .field("wall_time_s", wall_s)
         .field("dispatched_client_rounds", dispatched_total)
         .field("wasted_client_rounds", wasted_total)
+        .field("uplink_bytes", history.total_uplink_bytes())
+        .field("downlink_bytes", history.total_downlink_bytes())
         .field_raw("tta_s", tta.str());
     std::FILE* f = std::fopen(summary_json.c_str(), "w");
     if (!f) {
