@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/common/mutation.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 
@@ -121,7 +122,14 @@ std::vector<double> HaccsSelector::cluster_weights(
   for (std::size_t c = 0; c < k; ++c) {
     const double tau =
         latency_max > 0.0 ? 1.0 - avg_latency[c] / latency_max : 0.0;  // Eq. 6
-    const double norm_loss = loss_total > 0.0 ? avg_loss[c] / loss_total : 0.0;
+    double norm_loss = loss_total > 0.0 ? avg_loss[c] / loss_total : 0.0;
+#if HACCS_MUTATIONS
+    // Deliberate bug for the fuzzer's mutation-smoke check (TESTING.md):
+    // skips the ACL_i / ΣACL_j normalization.
+    if (mutation::enabled(mutation::Kind::DropEq7Normalization)) {
+      norm_loss = avg_loss[c];
+    }
+#endif
     weights[c] = config_.rho * tau + (1.0 - config_.rho) * norm_loss;  // Eq. 7
   }
   // Degenerate case (single cluster with rho = 1 gives all-zero weights):
@@ -217,8 +225,19 @@ std::vector<std::size_t> HaccsSelector::select(
       // Redraw among clusters that still have devices; guaranteed to exist
       // because out.size() < k <= total_available.
       std::vector<double> fallback(weights);
+      double fallback_total = 0.0;
       for (std::size_t c = 0; c < fallback.size(); ++c) {
         if (remaining[c].empty()) fallback[c] = 0.0;
+        fallback_total += fallback[c];
+      }
+      if (fallback_total <= 0.0) {
+        // Every cluster with devices left has Eq. 7 weight exactly 0 (rho=1
+        // zeroes the slowest cluster): draw uniformly among them instead of
+        // handing categorical() an all-zero vector. Found by the scenario
+        // fuzzer (seed 163 under over-selection).
+        for (std::size_t c = 0; c < fallback.size(); ++c) {
+          fallback[c] = remaining[c].empty() ? 0.0 : 1.0;
+        }
       }
       cluster = rng.categorical(fallback);
     }

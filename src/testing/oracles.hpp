@@ -1,0 +1,70 @@
+// Oracle framework for the deterministic scenario fuzzer (TESTING.md).
+//
+// check_scenario() runs one generated ScenarioSpec through two oracle
+// families and returns every violation found:
+//
+//   Differential — the same scenario under paired configurations whose
+//   outputs the system guarantees to agree:
+//     * dispatch:  in-process vs loopback-transported rounds, byte-equal
+//                  round_event_json (the PR-4 guarantee);
+//     * telemetry: traced vs untraced runs, byte-equal modulo wall-clock
+//                  phase timings (the PR-3 guarantee);
+//     * kernels:   reference vs optimized GEMM/conv backends on a one-round
+//                  run — identical selection/fault structure (round 0 is
+//                  loss-independent), parameter vectors within a small
+//                  relative L2 distance (per-element tolerance is invalid
+//                  end-to-end: ReLU boundaries flip between backends).
+//
+//   Invariant / metamorphic — properties provable from the paper and the
+//   design, checked on the system's own outputs:
+//     * summary distances symmetric, zero on self, bounded in [0, 1];
+//     * histogram/summary mass conservation against sample counts;
+//     * DP-noised histograms non-negative after renormalization;
+//     * permuting client order leaves cluster co-membership invariant
+//       (up to relabeling; skipped for OPTICS ξ-extraction, which is
+//       order-sensitive by construction);
+//     * Eq. 7 θ weights match an independent recomputation, are
+//       non-negative, and normalize to 1; empirical Weighted-SRSWR cluster
+//       frequencies track θ;
+//     * RoundRecord conservation: dispatched = aggregated + crashed + late
+//       + rejected, wire bytes = frames x codec pricing, rounds respect the
+//       deadline, and the simulated clock accumulates exactly.
+//
+// Every check is a pure function of the spec, so a violation reproduces
+// from its spec string alone (tools/haccs_fuzz --replay).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/testing/scenario.hpp"
+
+namespace haccs::testing {
+
+struct Violation {
+  std::string oracle;  ///< stable oracle id, e.g. "eq7_weights"
+  std::string detail;  ///< human-readable description of the mismatch
+};
+
+struct OracleOptions {
+  /// Run the differential family (three extra training runs per scenario).
+  bool differential = true;
+  /// Draws for the empirical Weighted-SRSWR frequency check.
+  std::size_t srswr_draws = 4000;
+};
+
+/// Runs every applicable oracle on the scenario. Empty result = clean.
+/// Exceptions escaping any oracle are themselves reported as violations
+/// (oracle id "exception") rather than thrown.
+std::vector<Violation> check_scenario(const ScenarioSpec& spec,
+                                      const OracleOptions& options = {});
+
+/// True when `violations` contains the named oracle (prefix match, so
+/// "exception" matches "exception:engine_run").
+bool has_oracle(const std::vector<Violation>& violations,
+                const std::string& oracle);
+
+/// The one-line reproducer printed on failure.
+std::string replay_command(const ScenarioSpec& spec);
+
+}  // namespace haccs::testing

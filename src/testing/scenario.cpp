@@ -1,0 +1,433 @@
+#include "src/testing/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+#include "src/core/haccs_selector.hpp"
+#include "src/core/haccs_system.hpp"
+#include "src/core/stratified_selector.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/select/oort.hpp"
+#include "src/select/random_selector.hpp"
+#include "src/select/tifl.hpp"
+
+namespace haccs::testing {
+
+namespace {
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> options) {
+  const auto* begin = options.begin();
+  return begin[rng.uniform_index(options.size())];
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;  // shortest round-trippable form for the grid values we draw
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_string(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::Majority: return "majority";
+    case PartitionKind::Iid: return "iid";
+    case PartitionKind::KLabels: return "klabels";
+    case PartitionKind::Dirichlet: return "dirichlet";
+    case PartitionKind::FeatureSkew: return "feature-skew";
+  }
+  throw std::invalid_argument("bad PartitionKind");
+}
+
+std::string to_string(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::Random: return "random";
+    case SelectorKind::Tifl: return "tifl";
+    case SelectorKind::Oort: return "oort";
+    case SelectorKind::HaccsPy: return "haccs-py";
+    case SelectorKind::HaccsPxy: return "haccs-pxy";
+    case SelectorKind::HaccsQxy: return "haccs-qxy";
+    case SelectorKind::Stratified: return "stratified";
+  }
+  throw std::invalid_argument("bad SelectorKind");
+}
+
+PartitionKind parse_partition_kind(const std::string& name) {
+  if (name == "majority") return PartitionKind::Majority;
+  if (name == "iid") return PartitionKind::Iid;
+  if (name == "klabels") return PartitionKind::KLabels;
+  if (name == "dirichlet") return PartitionKind::Dirichlet;
+  if (name == "feature-skew") return PartitionKind::FeatureSkew;
+  throw std::invalid_argument("unknown partition kind: " + name);
+}
+
+SelectorKind parse_selector_kind(const std::string& name) {
+  if (name == "random") return SelectorKind::Random;
+  if (name == "tifl") return SelectorKind::Tifl;
+  if (name == "oort") return SelectorKind::Oort;
+  if (name == "haccs-py") return SelectorKind::HaccsPy;
+  if (name == "haccs-pxy") return SelectorKind::HaccsPxy;
+  if (name == "haccs-qxy") return SelectorKind::HaccsQxy;
+  if (name == "stratified") return SelectorKind::Stratified;
+  throw std::invalid_argument("unknown selector kind: " + name);
+}
+
+bool is_haccs_selector(SelectorKind kind) {
+  return kind == SelectorKind::HaccsPy || kind == SelectorKind::HaccsPxy ||
+         kind == SelectorKind::HaccsQxy;
+}
+
+namespace {
+
+std::string algorithm_name(core::ClusterAlgorithm a) {
+  return a == core::ClusterAlgorithm::Optics ? "optics" : "dbscan";
+}
+
+core::ClusterAlgorithm parse_algorithm(const std::string& name) {
+  if (name == "optics") return core::ClusterAlgorithm::Optics;
+  if (name == "dbscan") return core::ClusterAlgorithm::Dbscan;
+  throw std::invalid_argument("unknown clustering algorithm: " + name);
+}
+
+std::string extraction_name(core::Extraction e) {
+  switch (e) {
+    case core::Extraction::Auto: return "auto";
+    case core::Extraction::Xi: return "xi";
+    case core::Extraction::Dbscan: return "dbscan";
+  }
+  throw std::invalid_argument("bad Extraction");
+}
+
+core::Extraction parse_extraction(const std::string& name) {
+  if (name == "auto") return core::Extraction::Auto;
+  if (name == "xi") return core::Extraction::Xi;
+  if (name == "dbscan") return core::Extraction::Dbscan;
+  throw std::invalid_argument("unknown extraction: " + name);
+}
+
+std::string compression_name(fl::CompressionKind kind) {
+  switch (kind) {
+    case fl::CompressionKind::None: return "none";
+    case fl::CompressionKind::TopK: return "topk";
+    case fl::CompressionKind::Int8: return "int8";
+  }
+  throw std::invalid_argument("bad CompressionKind");
+}
+
+fl::CompressionKind parse_compression(const std::string& name) {
+  if (name == "none") return fl::CompressionKind::None;
+  if (name == "topk") return fl::CompressionKind::TopK;
+  if (name == "int8") return fl::CompressionKind::Int8;
+  throw std::invalid_argument("unknown compression kind: " + name);
+}
+
+std::string mechanism_name(stats::NoiseMechanism m) {
+  return m == stats::NoiseMechanism::Laplace ? "laplace" : "gaussian";
+}
+
+stats::NoiseMechanism parse_mechanism(const std::string& name) {
+  if (name == "laplace") return stats::NoiseMechanism::Laplace;
+  if (name == "gaussian") return stats::NoiseMechanism::Gaussian;
+  throw std::invalid_argument("unknown noise mechanism: " + name);
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed) {
+  // A dedicated stream, decorrelated from the engine's use of the same seed.
+  Rng rng(seed ^ 0xf0220a7a5c0e3ULL);
+  ScenarioSpec s;
+  s.seed = seed;
+
+  s.clients = 8 + rng.uniform_index(9);             // 8..16
+  s.per_round = 2 + rng.uniform_index(3);           // 2..4
+  s.rounds = 2 + rng.uniform_index(4);              // 2..5
+  s.classes = pick(rng, {4ul, 6ul, 8ul});
+  s.image = pick(rng, {8ul, 10ul});
+  s.min_samples = 20 + rng.uniform_index(12);
+  s.max_samples = s.min_samples + 8 + rng.uniform_index(24);
+  s.test_samples = 6 + rng.uniform_index(6);
+
+  s.partition = pick(rng, {PartitionKind::Majority, PartitionKind::Iid,
+                           PartitionKind::KLabels, PartitionKind::Dirichlet,
+                           PartitionKind::FeatureSkew});
+  s.klabels = 2 + rng.uniform_index(3);
+  s.alpha = pick(rng, {0.1, 0.3, 0.5, 1.0});
+  s.rotation = pick(rng, {15.0, 30.0, 45.0});
+
+  s.selector = pick(rng, {SelectorKind::Random, SelectorKind::Tifl,
+                          SelectorKind::Oort, SelectorKind::HaccsPy,
+                          SelectorKind::HaccsPy, SelectorKind::HaccsPxy,
+                          SelectorKind::HaccsQxy, SelectorKind::Stratified});
+  s.algorithm = pick(rng, {core::ClusterAlgorithm::Optics,
+                           core::ClusterAlgorithm::Dbscan});
+  s.extraction = pick(rng, {core::Extraction::Auto, core::Extraction::Auto,
+                            core::Extraction::Xi, core::Extraction::Dbscan});
+  s.distance = pick(rng, {stats::DistanceKind::Hellinger,
+                          stats::DistanceKind::Hellinger,
+                          stats::DistanceKind::TotalVariation,
+                          stats::DistanceKind::JensenShannon,
+                          stats::DistanceKind::Cosine});
+  s.rho = pick(rng, {0.0, 0.25, 0.5, 0.75, 1.0});
+
+  s.epsilon = pick(rng, {0.0, 0.0, 0.05, 0.1, 0.5, 2.0});
+  s.mechanism = pick(rng, {stats::NoiseMechanism::Laplace,
+                           stats::NoiseMechanism::Gaussian});
+
+  s.compression = pick(rng, {fl::CompressionKind::None,
+                             fl::CompressionKind::None,
+                             fl::CompressionKind::TopK,
+                             fl::CompressionKind::Int8});
+  s.topk_fraction = pick(rng, {0.1, 0.2, 0.5});
+
+  // Faults off for roughly half the scenarios so the clean-path invariants
+  // (and exact byte accounting) stay heavily exercised too.
+  if (rng.bernoulli(0.5)) {
+    s.crash_rate = pick(rng, {0.0, 0.1, 0.25});
+    s.corruption_rate = pick(rng, {0.0, 0.1, 0.2});
+    s.straggler_rate = pick(rng, {0.0, 0.1, 0.3});
+  }
+  s.overcommit = pick(rng, {0.0, 0.0, 0.34, 0.5});
+  s.deadline_quantile = pick(rng, {0.0, 0.0, 0.8, 0.9});
+  s.max_update_norm = pick(rng, {0.0, 0.0, 50.0});
+  s.dropout = pick(rng, {0.0, 0.0, 0.1, 0.3});
+
+  s.fedprox = rng.bernoulli(0.25);
+  s.workers = 1 + rng.uniform_index(3);  // 1..3
+
+  validate_spec(s);
+  return s;
+}
+
+void validate_spec(const ScenarioSpec& s) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("bad scenario spec: " + what);
+  };
+  if (s.clients == 0 || s.clients > 512) fail("clients out of range");
+  if (s.per_round == 0 || s.per_round > s.clients) fail("per_round > clients");
+  if (s.rounds == 0 || s.rounds > 64) fail("rounds out of range");
+  if (s.classes < 2 || s.classes > 62) fail("classes out of range");
+  if (s.image < 6 || s.image > 32) fail("image out of range");
+  if (s.min_samples == 0 || s.max_samples < s.min_samples) {
+    fail("sample range");
+  }
+  if (s.test_samples == 0) fail("test_samples == 0");
+  if (s.rho < 0.0 || s.rho > 1.0) fail("rho outside [0, 1]");
+  if (s.epsilon < 0.0) fail("epsilon < 0");
+  if (s.topk_fraction <= 0.0 || s.topk_fraction > 1.0) fail("topk_fraction");
+  for (double rate : {s.crash_rate, s.corruption_rate, s.straggler_rate}) {
+    if (rate < 0.0 || rate > 1.0) fail("fault rate outside [0, 1]");
+  }
+  if (s.overcommit < 0.0) fail("overcommit < 0");
+  if (s.deadline_quantile < 0.0 || s.deadline_quantile > 1.0) {
+    fail("deadline_quantile outside [0, 1]");
+  }
+  if (s.max_update_norm < 0.0) fail("max_update_norm < 0");
+  if (s.dropout < 0.0 || s.dropout >= 1.0) fail("dropout outside [0, 1)");
+  if (s.workers == 0 || s.workers > 8) fail("workers out of range");
+  if (s.klabels == 0 || s.klabels > s.classes) fail("klabels out of range");
+  if (s.alpha <= 0.0) fail("alpha <= 0");
+}
+
+std::string to_spec_string(const ScenarioSpec& s) {
+  std::ostringstream os;
+  os << "seed=" << s.seed << ",clients=" << s.clients
+     << ",per_round=" << s.per_round << ",rounds=" << s.rounds
+     << ",classes=" << s.classes << ",image=" << s.image
+     << ",min_samples=" << s.min_samples << ",max_samples=" << s.max_samples
+     << ",test_samples=" << s.test_samples
+     << ",partition=" << to_string(s.partition) << ",klabels=" << s.klabels
+     << ",alpha=" << format_double(s.alpha)
+     << ",rotation=" << format_double(s.rotation)
+     << ",selector=" << to_string(s.selector)
+     << ",algorithm=" << algorithm_name(s.algorithm)
+     << ",extraction=" << extraction_name(s.extraction)
+     << ",distance=" << stats::to_string(s.distance)
+     << ",rho=" << format_double(s.rho)
+     << ",epsilon=" << format_double(s.epsilon)
+     << ",mechanism=" << mechanism_name(s.mechanism)
+     << ",compression=" << compression_name(s.compression)
+     << ",topk_fraction=" << format_double(s.topk_fraction)
+     << ",crash=" << format_double(s.crash_rate)
+     << ",corruption=" << format_double(s.corruption_rate)
+     << ",straggler=" << format_double(s.straggler_rate)
+     << ",overcommit=" << format_double(s.overcommit)
+     << ",deadline=" << format_double(s.deadline_quantile)
+     << ",max_norm=" << format_double(s.max_update_norm)
+     << ",dropout=" << format_double(s.dropout)
+     << ",fedprox=" << (s.fedprox ? 1 : 0) << ",workers=" << s.workers;
+  return os.str();
+}
+
+ScenarioSpec parse_spec_string(const std::string& text) {
+  ScenarioSpec s;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("spec item without '=': " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") s.seed = std::stoull(value);
+      else if (key == "clients") s.clients = std::stoul(value);
+      else if (key == "per_round") s.per_round = std::stoul(value);
+      else if (key == "rounds") s.rounds = std::stoul(value);
+      else if (key == "classes") s.classes = std::stoul(value);
+      else if (key == "image") s.image = std::stoul(value);
+      else if (key == "min_samples") s.min_samples = std::stoul(value);
+      else if (key == "max_samples") s.max_samples = std::stoul(value);
+      else if (key == "test_samples") s.test_samples = std::stoul(value);
+      else if (key == "partition") s.partition = parse_partition_kind(value);
+      else if (key == "klabels") s.klabels = std::stoul(value);
+      else if (key == "alpha") s.alpha = std::stod(value);
+      else if (key == "rotation") s.rotation = std::stod(value);
+      else if (key == "selector") s.selector = parse_selector_kind(value);
+      else if (key == "algorithm") s.algorithm = parse_algorithm(value);
+      else if (key == "extraction") s.extraction = parse_extraction(value);
+      else if (key == "distance") s.distance = stats::parse_distance_kind(value);
+      else if (key == "rho") s.rho = std::stod(value);
+      else if (key == "epsilon") s.epsilon = std::stod(value);
+      else if (key == "mechanism") s.mechanism = parse_mechanism(value);
+      else if (key == "compression") s.compression = parse_compression(value);
+      else if (key == "topk_fraction") s.topk_fraction = std::stod(value);
+      else if (key == "crash") s.crash_rate = std::stod(value);
+      else if (key == "corruption") s.corruption_rate = std::stod(value);
+      else if (key == "straggler") s.straggler_rate = std::stod(value);
+      else if (key == "overcommit") s.overcommit = std::stod(value);
+      else if (key == "deadline") s.deadline_quantile = std::stod(value);
+      else if (key == "max_norm") s.max_update_norm = std::stod(value);
+      else if (key == "dropout") s.dropout = std::stod(value);
+      else if (key == "fedprox") s.fedprox = std::stoi(value) != 0;
+      else if (key == "workers") s.workers = std::stoul(value);
+      else throw std::invalid_argument("unknown spec key: " + key);
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for spec key " + key + ": " +
+                                  value);
+    }
+  }
+  validate_spec(s);
+  return s;
+}
+
+data::FederatedDataset build_dataset(const ScenarioSpec& spec) {
+  data::SyntheticImageConfig cfg =
+      data::SyntheticImageConfig::femnist_like(spec.classes);
+  cfg.height = spec.image;
+  cfg.width = spec.image;
+  cfg.noise_stddev = 0.6;
+  data::SyntheticImageGenerator gen(cfg);
+
+  data::PartitionConfig pcfg;
+  pcfg.num_clients = spec.clients;
+  pcfg.min_samples = spec.min_samples;
+  pcfg.max_samples = spec.max_samples;
+  pcfg.test_samples = spec.test_samples;
+  // Mild per-client style jitter so the P(X|y)/Q(X|y) summaries have real
+  // feature heterogeneity to measure (matches the bench harness default).
+  pcfg.style_brightness_stddev = 0.1;
+  pcfg.style_contrast_stddev = 0.1;
+
+  Rng rng(spec.seed ^ 0xda7a5e3dULL);
+  switch (spec.partition) {
+    case PartitionKind::Majority:
+      return data::partition_majority_label(gen, pcfg, rng);
+    case PartitionKind::Iid:
+      return data::partition_iid(gen, pcfg, rng);
+    case PartitionKind::KLabels:
+      return data::partition_k_random_labels(gen, pcfg, spec.klabels, rng);
+    case PartitionKind::Dirichlet:
+      return data::partition_dirichlet(gen, pcfg, spec.alpha, rng);
+    case PartitionKind::FeatureSkew:
+      return data::partition_feature_skew(gen, pcfg, spec.rotation, rng);
+  }
+  throw std::invalid_argument("bad PartitionKind");
+}
+
+fl::EngineConfig build_engine_config(const ScenarioSpec& spec) {
+  fl::EngineConfig cfg;
+  cfg.rounds = spec.rounds;
+  cfg.clients_per_round = spec.per_round;
+  cfg.eval_every = 2;
+  cfg.seed = spec.seed;
+  cfg.local.sgd.learning_rate = 0.08;
+  cfg.local.batch_size = 16;
+  if (spec.fedprox) {
+    cfg.algorithm = fl::LocalAlgorithm::FedProx;
+    cfg.fedprox_mu = 0.01;
+  }
+  cfg.compression.kind = spec.compression;
+  cfg.compression.topk_fraction = spec.topk_fraction;
+  cfg.faults.crash_rate = spec.crash_rate;
+  cfg.faults.corruption_rate = spec.corruption_rate;
+  cfg.faults.straggler_rate = spec.straggler_rate;
+  cfg.faults.seed = spec.seed + 13;
+  cfg.overcommit = spec.overcommit;
+  cfg.deadline_quantile = spec.deadline_quantile;
+  cfg.max_update_norm = spec.max_update_norm;
+  return cfg;
+}
+
+core::HaccsConfig build_haccs_config(const ScenarioSpec& spec) {
+  core::HaccsConfig cfg;
+  switch (spec.selector) {
+    case SelectorKind::HaccsPxy:
+      cfg.summary = stats::SummaryKind::Conditional;
+      break;
+    case SelectorKind::HaccsQxy:
+      cfg.summary = stats::SummaryKind::Quantile;
+      break;
+    default:
+      cfg.summary = stats::SummaryKind::Response;
+      break;
+  }
+  cfg.response_distance = spec.distance;
+  cfg.algorithm = spec.algorithm;
+  cfg.extraction = spec.extraction;
+  cfg.rho = spec.rho;
+  if (spec.epsilon > 0.0) {
+    cfg.privacy = stats::PrivacyConfig{spec.epsilon};
+    cfg.privacy.mechanism = spec.mechanism;
+  }
+  return cfg;
+}
+
+std::unique_ptr<fl::ClientSelector> build_selector(
+    const ScenarioSpec& spec, const data::FederatedDataset& dataset) {
+  const auto haccs = build_haccs_config(spec);
+  switch (spec.selector) {
+    case SelectorKind::Random:
+      return std::make_unique<select::RandomSelector>();
+    case SelectorKind::Tifl: {
+      select::TiflConfig cfg;
+      cfg.expected_rounds = spec.rounds;
+      return std::make_unique<select::TiflSelector>(cfg);
+    }
+    case SelectorKind::Oort:
+      return std::make_unique<select::OortSelector>(select::OortConfig{});
+    case SelectorKind::HaccsPy:
+    case SelectorKind::HaccsPxy:
+    case SelectorKind::HaccsQxy:
+      return std::make_unique<core::HaccsSelector>(dataset, haccs);
+    case SelectorKind::Stratified:
+      return std::make_unique<core::StratifiedSelector>(dataset, haccs);
+  }
+  throw std::invalid_argument("bad SelectorKind");
+}
+
+std::function<nn::Sequential()> build_model_factory(
+    const ScenarioSpec& /*spec*/, const data::FederatedDataset& dataset) {
+  return core::default_model_factory(dataset, 99);
+}
+
+}  // namespace haccs::testing

@@ -1,0 +1,112 @@
+// Seeded scenario generation for the fuzzing harness (TESTING.md).
+//
+// A ScenarioSpec is one point in the configuration cross-product the system
+// supports: dataset shape x partitioner x selector x compression x fault
+// model x clustering algorithm x DP budget x scheduling knobs. Every field
+// round-trips through a compact `key=value,...` spec string, so any failure
+// the fuzzer finds is replayable from a single command line:
+//
+//   haccs_fuzz --replay "seed=41,selector=haccs-py,crash=0.2,..."
+//
+// generate_scenario(seed) draws a spec from the space as a pure function of
+// the seed — the same seed always produces the same scenario, on every
+// machine. Dimensions are drawn independently so the sweep covers the
+// pairwise interactions (faults x compression, DP x clustering, ...) that
+// example-based tests cannot enumerate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/haccs_config.hpp"
+#include "src/data/partition.hpp"
+#include "src/fl/compression.hpp"
+#include "src/fl/engine.hpp"
+#include "src/fl/selector.hpp"
+
+namespace haccs::testing {
+
+enum class PartitionKind { Majority, Iid, KLabels, Dirichlet, FeatureSkew };
+enum class SelectorKind { Random, Tifl, Oort, HaccsPy, HaccsPxy, HaccsQxy,
+                          Stratified };
+
+std::string to_string(PartitionKind kind);
+std::string to_string(SelectorKind kind);
+PartitionKind parse_partition_kind(const std::string& name);
+SelectorKind parse_selector_kind(const std::string& name);
+
+/// True for the selector kinds that run the HACCS clustering pipeline (and
+/// therefore expose cluster_weights / Eq. 7 to the oracles).
+bool is_haccs_selector(SelectorKind kind);
+
+struct ScenarioSpec {
+  std::uint64_t seed = 1;
+
+  // Workload shape (kept tiny: the fuzzer's value is breadth, not depth).
+  std::size_t clients = 10;
+  std::size_t per_round = 3;
+  std::size_t rounds = 4;
+  std::size_t classes = 6;
+  std::size_t image = 10;       ///< square image side
+  std::size_t min_samples = 24;
+  std::size_t max_samples = 48;
+  std::size_t test_samples = 8;
+
+  PartitionKind partition = PartitionKind::Majority;
+  std::size_t klabels = 3;      ///< for PartitionKind::KLabels
+  double alpha = 0.5;           ///< Dirichlet concentration
+  double rotation = 30.0;       ///< feature-skew rotation, degrees
+
+  SelectorKind selector = SelectorKind::HaccsPy;
+  core::ClusterAlgorithm algorithm = core::ClusterAlgorithm::Optics;
+  core::Extraction extraction = core::Extraction::Auto;
+  stats::DistanceKind distance = stats::DistanceKind::Hellinger;
+  double rho = 0.5;
+
+  double epsilon = 0.0;         ///< DP budget; 0 = no noise
+  stats::NoiseMechanism mechanism = stats::NoiseMechanism::Laplace;
+
+  fl::CompressionKind compression = fl::CompressionKind::None;
+  double topk_fraction = 0.2;
+
+  // Fault / robustness knobs (engine-simulated, seeded).
+  double crash_rate = 0.0;
+  double corruption_rate = 0.0;
+  double straggler_rate = 0.0;
+  double overcommit = 0.0;
+  double deadline_quantile = 0.0;
+  double max_update_norm = 0.0;
+  double dropout = 0.0;
+
+  bool fedprox = false;
+  /// Loopback worker count used by the transported-dispatch differential.
+  std::size_t workers = 2;
+};
+
+/// Draws a scenario as a pure function of `seed`.
+ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Compact one-line `key=value,...` form; emits every field (stable order).
+std::string to_spec_string(const ScenarioSpec& spec);
+
+/// Parses a spec string; unknown keys or malformed values throw
+/// std::invalid_argument. Omitted keys keep their ScenarioSpec defaults.
+ScenarioSpec parse_spec_string(const std::string& text);
+
+/// Sanity bounds the generator guarantees and replayed specs must satisfy
+/// (per_round <= clients, rho in [0,1], ...); throws on violation.
+void validate_spec(const ScenarioSpec& spec);
+
+// --- Builders: spec -> the production objects the oracles exercise. ---
+
+data::FederatedDataset build_dataset(const ScenarioSpec& spec);
+fl::EngineConfig build_engine_config(const ScenarioSpec& spec);
+core::HaccsConfig build_haccs_config(const ScenarioSpec& spec);
+std::unique_ptr<fl::ClientSelector> build_selector(
+    const ScenarioSpec& spec, const data::FederatedDataset& dataset);
+/// The deterministic model factory every run of this scenario shares.
+std::function<nn::Sequential()> build_model_factory(
+    const ScenarioSpec& spec, const data::FederatedDataset& dataset);
+
+}  // namespace haccs::testing

@@ -1,0 +1,37 @@
+// Greedy scenario shrinking: reduce a failing ScenarioSpec to a minimal
+// reproducer (TESTING.md "Replaying and shrinking failures").
+//
+// The shrinker applies ordered simplification passes (turn faults off, drop
+// compression, drop DP, shrink the workload, default the clustering knobs,
+// ...) and keeps a simplification only when the SAME oracle still fires on
+// the simplified spec. Passes repeat to a fixpoint, so the result is
+// 1-minimal with respect to the pass list: undoing any single kept
+// simplification makes the spec strictly larger without being needed to
+// reproduce the failure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/testing/oracles.hpp"
+#include "src/testing/scenario.hpp"
+
+namespace haccs::testing {
+
+struct ShrinkResult {
+  /// The minimal spec that still reproduces the original oracle failure.
+  ScenarioSpec spec;
+  /// Candidate specs evaluated (each is a full oracle run).
+  std::size_t attempts = 0;
+  /// How many candidates reproduced the failure (kept simplifications).
+  std::size_t reproductions = 0;
+};
+
+/// Shrinks `spec`, preserving a failure of the oracle named `oracle`
+/// (matched by prefix, like has_oracle). `spec` itself is assumed to fail;
+/// if no simplification reproduces, the result is `spec` unchanged.
+ShrinkResult shrink_scenario(const ScenarioSpec& spec,
+                             const std::string& oracle,
+                             const OracleOptions& options = {});
+
+}  // namespace haccs::testing

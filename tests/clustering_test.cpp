@@ -231,6 +231,46 @@ TEST(Optics, ExtractXiRejectsBadXi) {
   EXPECT_THROW(extract_xi(result, 1.0, 2), std::invalid_argument);
 }
 
+// ---- Degenerate inputs (the fuzzer's edge cases, pinned as unit tests) ----
+
+TEST(Dbscan, AllIdenticalPointsFormOneCluster) {
+  // Identical client summaries give an all-zero distance matrix; everything
+  // must collapse into a single cluster with no noise.
+  const auto m = from_points(std::vector<double>(6, 2.5));
+  const auto labels = dbscan(m, {.eps = 0.3, .min_pts = 2});
+  ASSERT_EQ(labels.size(), 6u);
+  for (int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Dbscan, SinglePointIsNoiseBelowMinPts) {
+  // One client can never reach min_pts = 2 neighbors: it is noise here, and
+  // HaccsSelector::build_clusters remaps it to a singleton cluster.
+  const auto m = from_points({1.0});
+  const auto labels = dbscan(m, {.eps = 0.3, .min_pts = 2});
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], -1);
+}
+
+TEST(Optics, AllIdenticalPointsFormOneCluster) {
+  const auto m = from_points(std::vector<double>(5, 0.0));
+  const auto result = optics(m, {.min_pts = 2, .max_eps = kUndefined});
+  ASSERT_EQ(result.ordering.size(), 5u);
+  const auto labels = extract_auto(result, m, 2);
+  ASSERT_EQ(labels.size(), 5u);
+  for (int l : labels) EXPECT_EQ(l, labels[0]);
+  EXPECT_GE(labels[0], 0);
+}
+
+TEST(Optics, SinglePointDoesNotCrash) {
+  const auto m = from_points({0.7});
+  const auto result = optics(m, {.min_pts = 2, .max_eps = kUndefined});
+  ASSERT_EQ(result.ordering.size(), 1u);
+  const auto auto_labels = extract_auto(result, m, 2);
+  ASSERT_EQ(auto_labels.size(), 1u);
+  const auto eps_labels = extract_dbscan(result, 0.5, 2);
+  ASSERT_EQ(eps_labels.size(), 1u);
+}
+
 TEST(Optics, DeterministicOrdering) {
   Rng rng(13);
   std::vector<double> xs;

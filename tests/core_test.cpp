@@ -233,6 +233,62 @@ TEST(HaccsSelectorTest, AllUnavailableReturnsEmpty) {
   EXPECT_TRUE(s.select(2, view, 0, rng).empty());
 }
 
+TEST(HaccsSelectorTest, EntireClusterUnavailableStillFillsK) {
+  // Weighted-SRSWR must forfeit draws that land on an emptied cluster and
+  // still deliver k participants from the clusters that have devices left.
+  HaccsSelector s({0, 0, 1, 1, 2, 2}, HaccsConfig{});
+  auto view = make_view({1, 2, 3, 4, 5, 6}, {1, 1, 1, 1, 1, 1});
+  view[2].available = view[3].available = false;  // cluster 1 fully out
+  Rng rng(29);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto picks = s.select(4, view, rep, rng);
+    EXPECT_EQ(picks.size(), 4u);
+    for (std::size_t id : picks) {
+      EXPECT_TRUE(id != 2 && id != 3) << "picked unavailable client " << id;
+    }
+  }
+}
+
+TEST(HaccsSelectorTest, ZeroWeightClusterStillReachableWhenOthersExhaust) {
+  // Regression for the fuzzer-found crash (tools/haccs_fuzz seed 163): with
+  // rho = 1, Eq. 7 gives the slowest cluster weight exactly 0. If every
+  // positive-weight cluster has run out of available devices, the SRSWR
+  // redraw used to hand Rng::categorical an all-zero vector and throw; it
+  // must instead fall back to the zero-weight cluster.
+  HaccsConfig cfg;
+  cfg.rho = 1.0;
+  HaccsSelector s({0, 0, 1, 1}, cfg);
+  auto view = make_view({1.0, 1.0, 10.0, 10.0}, {1, 1, 1, 1});
+  view[0].available = view[1].available = false;  // fast cluster gone
+  Rng rng(37);
+  const auto picks = s.select(2, view, 0, rng);
+  ASSERT_EQ(picks.size(), 2u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique, (std::set<std::size_t>{2, 3}));
+}
+
+TEST(HaccsSelectorTest, NonContiguousLabelsAreCompacted) {
+  // Label gaps (possible when a caller feeds hand-built labels) must not
+  // leave empty cluster slots behind: co-membership is preserved and ids
+  // are renumbered densely.
+  HaccsSelector s({0, 5, 5, 9}, HaccsConfig{});
+  EXPECT_EQ(s.num_clusters(), 3u);
+  const auto& of = s.cluster_of();
+  EXPECT_EQ(of[1], of[2]);
+  EXPECT_NE(of[0], of[1]);
+  EXPECT_NE(of[0], of[3]);
+  EXPECT_NE(of[1], of[3]);
+  for (int label : of) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  // And selection over the compacted clusters works end to end.
+  auto view = make_view({1, 2, 3, 4}, {1, 1, 1, 1});
+  Rng rng(41);
+  const auto picks = s.select(3, view, 0, rng);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
 TEST(HaccsSelectorTest, HighWeightClusterSampledMoreOften) {
   // Cluster 0: high loss; cluster 1: low loss. rho = 0 (pure loss weighting).
   HaccsConfig cfg;

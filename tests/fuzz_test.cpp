@@ -1,0 +1,168 @@
+// Tests for the scenario fuzzer itself (src/testing) plus the Slow* suites
+// that run actual fuzz sweeps — those carry the `slow` ctest label and stay
+// out of the tier-1 gate (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include "src/common/mutation.hpp"
+#include "src/testing/oracles.hpp"
+#include "src/testing/scenario.hpp"
+#include "src/testing/shrink.hpp"
+
+namespace haccs {
+namespace {
+
+using testing::OracleOptions;
+using testing::ScenarioSpec;
+
+// ---------------------------------------------------------------------------
+// Tier 1: the fuzzer's own machinery (fast, no training runs)
+
+TEST(FuzzSpec, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 7ULL, 123456789ULL}) {
+    const auto a = testing::generate_scenario(seed);
+    const auto b = testing::generate_scenario(seed);
+    EXPECT_EQ(testing::to_spec_string(a), testing::to_spec_string(b));
+    EXPECT_EQ(a.seed, seed);
+  }
+}
+
+TEST(FuzzSpec, SpecStringRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto spec = testing::generate_scenario(seed);
+    const auto text = testing::to_spec_string(spec);
+    const auto parsed = testing::parse_spec_string(text);
+    EXPECT_EQ(testing::to_spec_string(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzSpec, GeneratedSpecsValidate) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    EXPECT_NO_THROW(
+        testing::validate_spec(testing::generate_scenario(seed)));
+  }
+}
+
+TEST(FuzzSpec, ParseRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(testing::parse_spec_string("bogus_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::parse_spec_string("clients=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::parse_spec_string("clients=0"),
+               std::invalid_argument);
+  // per_round > clients is a validate_spec violation.
+  EXPECT_THROW(testing::parse_spec_string("clients=4,per_round=9"),
+               std::invalid_argument);
+}
+
+TEST(FuzzSpec, OmittedKeysKeepDefaults) {
+  const auto spec = testing::parse_spec_string("seed=9,clients=12");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.clients, 12u);
+  const ScenarioSpec defaults;
+  EXPECT_EQ(spec.rounds, defaults.rounds);
+  EXPECT_EQ(spec.rho, defaults.rho);
+}
+
+TEST(FuzzSpec, ReplayCommandEmbedsFullSpec) {
+  const auto spec = testing::generate_scenario(3);
+  const auto cmd = testing::replay_command(spec);
+  EXPECT_NE(cmd.find("haccs_fuzz --replay"), std::string::npos);
+  EXPECT_NE(cmd.find(testing::to_spec_string(spec)), std::string::npos);
+}
+
+TEST(FuzzSpec, HasOracleMatchesByPrefix) {
+  std::vector<testing::Violation> v = {{"exception:engine_run", "boom"}};
+  EXPECT_TRUE(testing::has_oracle(v, "exception"));
+  EXPECT_TRUE(testing::has_oracle(v, "exception:engine_run"));
+  EXPECT_FALSE(testing::has_oracle(v, "eq7_weights"));
+}
+
+// ---------------------------------------------------------------------------
+// Slow tier: real oracle sweeps
+
+OracleOptions fast_options() {
+  OracleOptions options;
+  options.differential = false;  // invariants only: no extra training runs
+  options.srswr_draws = 1500;
+  return options;
+}
+
+TEST(SlowFuzz, FirstSeedsPassAllOracles) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto spec = testing::generate_scenario(seed);
+    const auto violations = testing::check_scenario(spec, fast_options());
+    for (const auto& v : violations) {
+      ADD_FAILURE() << "seed " << seed << " [" << v.oracle << "] "
+                    << v.detail << "\n  reproduce: "
+                    << testing::replay_command(spec);
+    }
+  }
+}
+
+TEST(SlowFuzz, DifferentialOraclesPassOnAHaccsScenario) {
+  // One full differential pass (loopback dispatch, telemetry, kernels) on a
+  // fixed mid-complexity spec, to keep the expensive oracles exercised in
+  // every slow-tier run even if generated seeds drift away from them.
+  const auto spec = testing::parse_spec_string(
+      "seed=11,clients=10,per_round=3,rounds=3,classes=6,image=8,"
+      "min_samples=20,max_samples=32,test_samples=6,selector=haccs-py,"
+      "compression=topk,workers=2,crash=0.1");
+  OracleOptions options;
+  options.srswr_draws = 1500;
+  const auto violations = testing::check_scenario(spec, options);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+  }
+}
+
+// The standing proof that the oracle suite has teeth: a deliberately-injected
+// bug (drop Eq. 7's ACL normalization, compiled in behind HACCS_MUTATIONS)
+// must be caught, shrunk, and replayable.
+#if HACCS_MUTATIONS
+ScenarioSpec mutation_prone_spec() {
+  return testing::parse_spec_string(
+      "seed=5,clients=12,per_round=3,rounds=2,classes=6,image=8,"
+      "min_samples=20,max_samples=32,test_samples=6,selector=haccs-py,"
+      "rho=0.5,crash=0.1,dropout=0.1,compression=int8");
+}
+
+TEST(SlowMutation, DroppedEq7NormalizationIsDetected) {
+  const auto spec = mutation_prone_spec();
+  {
+    mutation::ScopedMutation armed(mutation::Kind::DropEq7Normalization);
+    const auto violations = testing::check_scenario(spec, fast_options());
+    EXPECT_TRUE(testing::has_oracle(violations, "eq7_weights"))
+        << "the eq7_weights oracle missed the injected normalization bug";
+  }
+  // Disarmed, the identical spec must be clean — the detection above really
+  // was the mutation, not a latent failure in the spec.
+  const auto clean = testing::check_scenario(spec, fast_options());
+  for (const auto& v : clean) {
+    ADD_FAILURE() << "disarmed spec not clean: [" << v.oracle << "] "
+                  << v.detail;
+  }
+}
+
+TEST(SlowMutation, DetectedMutationShrinksToReplayableReproducer) {
+  mutation::ScopedMutation armed(mutation::Kind::DropEq7Normalization);
+  const auto spec = mutation_prone_spec();
+  OracleOptions options = fast_options();
+  options.srswr_draws = 0;  // eq7 recomputation alone catches this mutation
+  const auto result = testing::shrink_scenario(spec, "eq7_weights", options);
+
+  // The shrunk spec still reproduces and is simpler than where it started:
+  // every pure-noise knob this spec carried must have been stripped.
+  const auto violations = testing::check_scenario(result.spec, options);
+  EXPECT_TRUE(testing::has_oracle(violations, "eq7_weights"));
+  EXPECT_GT(result.reproductions, 0u);
+  EXPECT_EQ(result.spec.crash_rate, 0.0);
+  EXPECT_EQ(result.spec.dropout, 0.0);
+  EXPECT_EQ(result.spec.compression, fl::CompressionKind::None);
+
+  const auto cmd = testing::replay_command(result.spec);
+  EXPECT_NE(cmd.find("haccs_fuzz --replay"), std::string::npos);
+}
+#endif  // HACCS_MUTATIONS
+
+}  // namespace
+}  // namespace haccs

@@ -145,6 +145,38 @@ TEST(Tifl, SkipsUnavailableTiers) {
   }
 }
 
+TEST(Tifl, FailureRefundNeverExceedsInitialCredits) {
+  // A failed client refunds 1/k of a credit to its tier; spamming
+  // report_failure (duplicate fault notifications, replayed events) must not
+  // mint credits beyond the initial grant. Pinned by the fuzzer's edge-case
+  // sweep.
+  TiflConfig cfg;
+  cfg.num_tiers = 5;
+  cfg.credit_factor = 2.0;
+  cfg.expected_rounds = 200;
+  TiflSelector s(cfg);
+  auto view = make_view(25);
+  s.initialize(view);
+  const double initial = s.tier_credits(0);
+  EXPECT_DOUBLE_EQ(initial, 2.0 * 200.0 / 5.0);
+
+  // No round charged yet: every refund is already clamped at the grant.
+  for (int i = 0; i < 50; ++i) s.report_failure(0, 0, fl::FailureKind::Crash);
+  EXPECT_DOUBLE_EQ(s.tier_credits(0), initial);
+
+  // After a real round, refunds restore at most what the round charged.
+  Rng rng(31);
+  const auto picks = s.select(3, view, 0, rng);
+  ASSERT_FALSE(picks.empty());
+  const std::size_t charged_tier = s.tier_of()[picks[0]];
+  EXPECT_LT(s.tier_credits(charged_tier), initial);
+  for (int i = 0; i < 100; ++i) {
+    s.report_failure(picks[0], 0, fl::FailureKind::Crash);
+    EXPECT_LE(s.tier_credits(charged_tier), initial);
+  }
+  EXPECT_DOUBLE_EQ(s.tier_credits(charged_tier), initial);
+}
+
 TEST(Tifl, RejectsBadConfig) {
   EXPECT_THROW(TiflSelector({.num_tiers = 0}), std::invalid_argument);
   EXPECT_THROW(TiflSelector({.num_tiers = 2, .credit_factor = 0.5}),

@@ -210,6 +210,47 @@ TEST(Privacy, NoisedCountsStayNonnegative) {
   }
 }
 
+TEST(Privacy, NegativeNoisedBinsClampToZeroExactly) {
+  // Tiny counts + strong Laplace noise (scale 1/eps = 20) push bins negative
+  // before the clamp. Replaying the identical noise stream shows which bins
+  // went negative pre-clamp: those must land on exactly 0, the rest must
+  // carry the raw noised value untouched.
+  const double epsilon = 0.05;
+  Histogram h(6);
+  for (std::size_t b = 0; b < 6; ++b) h.add_count(b, 1.0);
+  Rng rng(42), replay(42);
+  privatize_histogram(h, epsilon, rng);
+  bool clamped = false;
+  for (std::size_t b = 0; b < 6; ++b) {
+    const double raw = 1.0 + replay.laplace(0.0, 1.0 / epsilon);
+    if (raw < 0.0) {
+      clamped = true;
+      EXPECT_EQ(h.counts()[b], 0.0) << "bin " << b;
+    } else {
+      EXPECT_DOUBLE_EQ(h.counts()[b], raw) << "bin " << b;
+    }
+  }
+  // Seed chosen so the scenario actually exercises the clamp.
+  EXPECT_TRUE(clamped);
+}
+
+TEST(Privacy, PrivatizedSummariesKeepDistancesValid) {
+  // Downstream, summaries are renormalized inside the distance computation;
+  // a bin the clamp left at zero must not break the [0, 1] Hellinger bound
+  // or produce NaN.
+  const auto clean = summarize_response(tiny_dataset());
+  Rng rng(11);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto a = privatize(clean, PrivacyConfig{0.02}, rng);
+    const auto b = privatize(clean, PrivacyConfig{0.02}, rng);
+    for (double c : a.label_counts.counts()) EXPECT_GE(c, 0.0);
+    const double d = distance(a, b);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-12);
+  }
+}
+
 TEST(Privacy, SmallEpsilonDistortsMore) {
   // With the same seed stream, distance from the true histogram should grow
   // as epsilon shrinks (statistically, over repetitions).

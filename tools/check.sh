@@ -18,11 +18,21 @@ run_suite() {
   shift
   cmake -B "$build_dir" -S "$repo" "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs"
 }
 
 echo "== tier-1: default build =="
 run_suite "$repo/build"
+
+echo "== slow tier: fuzz sweep + mutation suites =="
+ctest --test-dir "$repo/build" -L slow --output-on-failure -j "$jobs"
+
+echo "== scenario fuzzer: invariant + differential oracles over 50 seeds =="
+"$repo/build/tools/haccs_fuzz" --seeds 0..49
+
+echo "== mutation smoke: injected Eq. 7 bug must be caught =="
+"$repo/build/tools/haccs_fuzz" --mutate drop-eq7-normalization \
+  --seeds 0..10 --expect-violation --no-differential
 
 echo "== telemetry artifacts: traced run produces valid JSON =="
 obs_dir="$(mktemp -d)"

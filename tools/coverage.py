@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Line-coverage report from gcov data, no gcovr required.
+
+Walks the build tree for .gcda files produced by a -DHACCS_COVERAGE=ON build,
+asks gcov for JSON intermediate output, and aggregates per-file line coverage
+for sources under --filter. This is the fallback backend for the `coverage`
+CMake target on machines without gcovr (see TESTING.md "Coverage").
+
+Usage:
+  tools/coverage.py --build-dir build-cov --source-root . --filter src/
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda, gcov):
+    """One parsed gcov JSON document for a single .gcda, or None on failure."""
+    try:
+        proc = subprocess.run(
+            [gcov, "--json-format", "--stdout", os.path.basename(gcda)],
+            cwd=os.path.dirname(gcda),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (subprocess.CalledProcessError, OSError) as err:
+        print(f"warning: gcov failed on {gcda}: {err}", file=sys.stderr)
+        return None
+    # --stdout emits one JSON document per input file; we pass exactly one.
+    text = proc.stdout.strip()
+    if not text:
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        print(f"warning: unparseable gcov output for {gcda}: {err}",
+              file=sys.stderr)
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", required=True)
+    parser.add_argument("--filter", default="src/",
+                        help="source path prefix (relative to --source-root)")
+    parser.add_argument("--gcov", default="gcov")
+    args = parser.parse_args()
+
+    source_root = os.path.realpath(args.source_root)
+    # file -> line number -> max execution count seen across translation units.
+    hits = defaultdict(lambda: defaultdict(int))
+    gcda_count = 0
+    for gcda in sorted(find_gcda(args.build_dir)):
+        doc = gcov_json(gcda, args.gcov)
+        if doc is None:
+            continue
+        gcda_count += 1
+        for entry in doc.get("files", []):
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(source_root, path)
+            rel = os.path.relpath(os.path.realpath(path), source_root)
+            if not rel.startswith(args.filter):
+                continue
+            lines = hits[rel]
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                if number is not None:
+                    lines[number] = max(lines[number], line.get("count", 0))
+
+    if gcda_count == 0:
+        print("no .gcda files found — build with -DHACCS_COVERAGE=ON and run "
+              "the tests first", file=sys.stderr)
+        return 1
+
+    total_lines = total_covered = 0
+    width = max((len(f) for f in hits), default=10)
+    for rel in sorted(hits):
+        lines = hits[rel]
+        covered = sum(1 for count in lines.values() if count > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 0.0
+        print(f"{rel:<{width}}  {covered:5d}/{len(lines):<5d}  {pct:6.1f}%")
+    pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    print("-" * (width + 22))
+    print(f"{'TOTAL':<{width}}  {total_covered:5d}/{total_lines:<5d}  "
+          f"{pct:6.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
