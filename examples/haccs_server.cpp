@@ -11,12 +11,30 @@
 // identical flags — tools/check.sh pins that the two report the same final
 // accuracy.
 //
+// Serving mode (DESIGN.md §5g):
+//   * --checkpoint + --checkpoint-every persist a crash-resume RunState
+//     (atomic temp-file + rename) after every Nth round; --resume restarts
+//     from it, bit-identical to the uninterrupted run.
+//   * SIGTERM/SIGINT drain: finish the in-flight round, flush a final
+//     checkpoint, send Shutdown frames, exit 0.
+//   * --heartbeat-timeout-ms arms per-worker liveness deadlines; a silent
+//     worker's jobs fail as Crash and a reconnecting process (fresh Hello +
+//     summaries on the same listener) is handed back its slot.
+//   * --quorum/--quorum-grace-ms commit a round once that fraction of
+//     updates landed instead of blocking on stragglers (pair with
+//     --overcommit to re-cover the loss by over-selection).
+//   * --chaos-* wraps each accepted session in seeded outbound fault
+//     injection (the worker side has the same knobs for its direction).
+//
 //   ./haccs_server --workers=2 --port=0 --port-file=/tmp/port
 //       --rounds=5 --clients=12 --per-round=4 --summary-json=/tmp/s.json
 //   ./haccs_worker --worker-id=0 --workers=2 --port-file=/tmp/port ... &
 //   ./haccs_worker --worker-id=1 --workers=2 --port-file=/tmp/port ... &
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -24,13 +42,19 @@
 #include "examples/multiprocess_common.hpp"
 #include "src/common/table.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/fl/checkpoint.hpp"
 #include "src/fl/net_driver.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/tcp.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/stats/summary_codec.hpp"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
 
 void print_usage() {
   std::puts(
@@ -43,10 +67,153 @@ void print_usage() {
       "  --accept-timeout-ms=T  per-worker accept deadline (default 30000)\n"
       "  --io-timeout-ms=T    per-frame send/recv deadline (default 120000)\n"
       "  --summary-json=F     machine-readable run summary\n"
+      "serving: --checkpoint=F  crash-resume checkpoint file\n"
+      "  --checkpoint-every=N  persist every N rounds (default 1)\n"
+      "  --resume             restore from --checkpoint and continue\n"
+      "  --heartbeat-timeout-ms=T  declare a silent worker dead after T ms\n"
+      "  --quorum=Q           commit a round at Q of its updates (default 1)\n"
+      "  --quorum-grace-ms=T  straggler grace after quorum (default 0)\n"
+      "  --overcommit=F       over-select by F (e.g. 0.5 = +50%)\n"
+      "chaos (outbound fault injection): --chaos-seed --chaos-drop\n"
+      "  --chaos-dup --chaos-reorder --chaos-corrupt --chaos-truncate\n"
+      "  --chaos-disconnect\n"
       "workload (must match the workers'): --dataset --clients --per-round\n"
       "  --rounds --classes --seed --full --noise-scale\n"
       "telemetry: --trace --metrics --events --log-level");
 }
+
+/// The worker fleet: initial accept, per-session chaos wrapping, and
+/// mid-run re-accept of reconnecting workers (serving mode).
+class Fleet {
+ public:
+  Fleet(haccs::net::TcpListener& listener, std::size_t num_workers,
+        std::size_t num_clients, int io_timeout_ms,
+        haccs::net::ChaosOptions chaos)
+      : listener_(listener),
+        num_clients_(num_clients),
+        io_timeout_ms_(io_timeout_ms),
+        chaos_(chaos),
+        slots_(num_workers),
+        fresh_(num_workers, false),
+        generation_(num_workers, 0),
+        summaries_(num_clients),
+        have_summary_(num_clients, false) {}
+
+  /// Blocks until all workers have completed the Hello + summary handshake.
+  bool accept_all(int accept_timeout_ms) {
+    std::size_t connected = 0;
+    while (connected < slots_.size()) {
+      auto transport = listener_.accept(accept_timeout_ms);
+      if (!transport) {
+        std::fprintf(stderr, "timed out waiting for worker %zu of %zu\n",
+                     connected + 1, slots_.size());
+        return false;
+      }
+      const int w = handshake(std::move(transport));
+      if (w < 0) return false;
+      if (fresh_[static_cast<std::size_t>(w)]) {
+        fresh_[static_cast<std::size_t>(w)] = false;
+        ++connected;
+      }
+    }
+    return true;
+  }
+
+  /// TransportDispatcher reacquire hook: drains any pending reconnect
+  /// attempts (short accept timeout — called once per round per dead
+  /// worker), then hands back worker `w`'s slot if a fresh session arrived.
+  haccs::net::Transport* reacquire(std::size_t w) {
+    for (;;) {
+      auto transport = listener_.accept(kReacceptTimeoutMs);
+      if (!transport) break;
+      handshake(std::move(transport));  // failures just drop the connection
+    }
+    if (w < fresh_.size() && fresh_[w]) {
+      fresh_[w] = false;
+      return slots_[w].get();
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<haccs::net::Transport>>& slots() const {
+    return slots_;
+  }
+  const std::vector<haccs::core::ClientSummary>& summaries() const {
+    return summaries_;
+  }
+  bool have_all_summaries() const {
+    for (bool have : have_summary_) {
+      if (!have) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kReacceptTimeoutMs = 200;
+
+  /// Runs the Hello + summary handshake on a fresh connection; on success
+  /// installs it (chaos-wrapped) in its worker slot and returns the worker
+  /// id, else returns -1.
+  int handshake(std::unique_ptr<haccs::net::Transport> transport) {
+    namespace net = haccs::net;
+    net::Frame frame;
+    if (transport->recv(&frame, io_timeout_ms_) != net::TransportStatus::Ok ||
+        frame.type != net::MessageType::Hello) {
+      std::fprintf(stderr, "handshake with %s failed (no Hello frame)\n",
+                   transport->peer().c_str());
+      return -1;
+    }
+    const net::HelloMsg hello = net::decode_hello(frame);
+    if (hello.worker_id >= slots_.size()) {
+      std::fprintf(stderr, "bad worker id %u (expected 0..%zu)\n",
+                   hello.worker_id, slots_.size() - 1);
+      return -1;
+    }
+    // §IV-A uplink: one P(y) summary per hosted client — sent on the first
+    // connect and repeated on every reconnect (session resume), so a
+    // restarted server can rebuild its view from the fleet alone.
+    for (std::uint32_t s = 0; s < hello.num_clients; ++s) {
+      if (transport->recv(&frame, io_timeout_ms_) != net::TransportStatus::Ok ||
+          frame.type != net::MessageType::Summary) {
+        std::fprintf(stderr, "worker %u: summary %u of %u never arrived\n",
+                     hello.worker_id, s + 1, hello.num_clients);
+        return -1;
+      }
+      const net::SummaryMsg msg = net::decode_summary(frame);
+      if (msg.client_id >= num_clients_) {
+        std::fprintf(stderr, "summary for unknown client %u\n", msg.client_id);
+        return -1;
+      }
+      haccs::core::ClientSummary summary;
+      summary.kind = haccs::stats::SummaryKind::Response;
+      summary.response = haccs::stats::decode_response_summary(msg);
+      summaries_[msg.client_id] = std::move(summary);
+      have_summary_[msg.client_id] = true;
+    }
+    const auto w = static_cast<std::size_t>(hello.worker_id);
+    // Chaos wraps the established session; the seed forks per (worker,
+    // session) so a reconnect does not replay the identical fault script.
+    net::ChaosOptions forked = chaos_;
+    forked.seed = chaos_.seed ^ (0xa11ce11aULL * (w + 1)) ^
+                  (0x5e5510ULL * ++generation_[w]);
+    std::fprintf(stderr, "worker %u connected (%s), hosting %u client(s)\n",
+                 hello.worker_id, transport->peer().c_str(),
+                 hello.num_clients);
+    slots_[w] = net::wrap_chaos(std::move(transport), forked);
+    fresh_[w] = true;
+    return static_cast<int>(w);
+  }
+
+  haccs::net::TcpListener& listener_;
+  std::size_t num_clients_;
+  int io_timeout_ms_;
+  haccs::net::ChaosOptions chaos_;
+  std::vector<std::unique_ptr<haccs::net::Transport>> slots_;
+  std::vector<bool> fresh_;
+  std::vector<std::size_t> generation_;
+  std::vector<haccs::core::ClientSummary> summaries_;
+  std::vector<bool> have_summary_;
+};
 
 }  // namespace
 
@@ -75,77 +242,58 @@ int main(int argc, char** argv) try {
   const int io_timeout_ms =
       static_cast<int>(flags.get_int("io-timeout-ms", 120000));
   const std::string summary_json = flags.get_string("summary-json", "");
+  const std::string checkpoint_path = flags.get_string("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every", 1));
+  const bool resume = flags.get_bool("resume", false);
+  const int heartbeat_timeout_ms =
+      static_cast<int>(flags.get_int("heartbeat-timeout-ms", 0));
+  const double quorum = flags.get_double("quorum", 1.0);
+  const int quorum_grace_ms =
+      static_cast<int>(flags.get_int("quorum-grace-ms", 0));
+  const double overcommit = flags.get_double("overcommit", 0.0);
+  const net::ChaosOptions chaos = examples::parse_chaos_flags(flags);
   flags.check_unused();
   if (num_workers == 0) {
     std::fprintf(stderr, "--workers must be >= 1\n");
     return 1;
   }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 1;
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
 
   // Both processes rebuild the identical federation from the same flags;
   // only parameters, updates, and summaries cross the wire.
   const data::FederatedDataset fed = examples::build_federation(exp);
   auto engine_config = exp.make_engine_config(fed);
+  engine_config.overcommit = overcommit;
+
+  // ---- crash-resume: load before accepting, fail fast on a bad file ----
+  std::optional<fl::RunState> resume_state;
+  if (resume) {
+    if (std::ifstream(checkpoint_path).good()) {
+      resume_state = fl::load_run_state(checkpoint_path);
+      std::fprintf(stderr, "resuming from %s at round %zu of %zu\n",
+                   checkpoint_path.c_str(), resume_state->next_epoch,
+                   engine_config.rounds);
+    } else {
+      std::fprintf(stderr, "--resume: no checkpoint at %s, starting fresh\n",
+                   checkpoint_path.c_str());
+    }
+  }
 
   // ---- accept the worker fleet ----
   net::TcpListener listener(port_flag);
-  if (!port_file.empty()) {
-    std::FILE* f = std::fopen(port_file.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%u\n", listener.port());
-    std::fclose(f);
-  }
+  if (!port_file.empty()) examples::write_port_file(port_file, listener.port());
   std::fprintf(stderr, "listening on 127.0.0.1:%u, waiting for %zu worker(s)\n",
                listener.port(), num_workers);
 
-  std::vector<std::unique_ptr<net::Transport>> transports(num_workers);
-  std::vector<core::ClientSummary> summaries(fed.num_clients());
-  std::vector<bool> have_summary(fed.num_clients(), false);
-  for (std::size_t accepted = 0; accepted < num_workers; ++accepted) {
-    auto transport = listener.accept(accept_timeout_ms);
-    if (!transport) {
-      std::fprintf(stderr, "timed out waiting for worker %zu of %zu\n",
-                   accepted + 1, num_workers);
-      return 1;
-    }
-    net::Frame frame;
-    if (transport->recv(&frame, io_timeout_ms) != net::TransportStatus::Ok ||
-        frame.type != net::MessageType::Hello) {
-      std::fprintf(stderr, "handshake with %s failed (no Hello frame)\n",
-                   transport->peer().c_str());
-      return 1;
-    }
-    const net::HelloMsg hello = net::decode_hello(frame);
-    if (hello.worker_id >= num_workers || transports[hello.worker_id]) {
-      std::fprintf(stderr, "bad or duplicate worker id %u (expected 0..%zu)\n",
-                   hello.worker_id, num_workers - 1);
-      return 1;
-    }
-    // §IV-A uplink: one P(y) summary per hosted client, once per run.
-    for (std::uint32_t s = 0; s < hello.num_clients; ++s) {
-      if (transport->recv(&frame, io_timeout_ms) != net::TransportStatus::Ok ||
-          frame.type != net::MessageType::Summary) {
-        std::fprintf(stderr, "worker %u: summary %u of %u never arrived\n",
-                     hello.worker_id, s + 1, hello.num_clients);
-        return 1;
-      }
-      const net::SummaryMsg msg = net::decode_summary(frame);
-      if (msg.client_id >= fed.num_clients()) {
-        std::fprintf(stderr, "summary for unknown client %u\n", msg.client_id);
-        return 1;
-      }
-      core::ClientSummary summary;
-      summary.kind = stats::SummaryKind::Response;
-      summary.response = stats::decode_response_summary(msg);
-      summaries[msg.client_id] = std::move(summary);
-      have_summary[msg.client_id] = true;
-    }
-    std::fprintf(stderr, "worker %u connected (%s), hosting %u client(s)\n",
-                 hello.worker_id, transport->peer().c_str(), hello.num_clients);
-    transports[hello.worker_id] = std::move(transport);
-  }
+  Fleet fleet(listener, num_workers, fed.num_clients(), io_timeout_ms, chaos);
+  if (!fleet.accept_all(accept_timeout_ms)) return 1;
 
   // ---- strategy ----
   core::HaccsConfig haccs;
@@ -156,20 +304,17 @@ int main(int argc, char** argv) try {
   if (strategy == "random") {
     selector = std::make_unique<select::RandomSelector>();
   } else if (strategy == "haccs-py") {
-    for (std::size_t c = 0; c < fed.num_clients(); ++c) {
-      if (!have_summary[c]) {
-        std::fprintf(stderr,
-                     "no summary for client %zu — check each worker's "
-                     "--worker-id/--workers against --workers here\n",
-                     c);
-        return 1;
-      }
+    if (!fleet.have_all_summaries()) {
+      std::fprintf(stderr,
+                   "missing client summaries — check each worker's "
+                   "--worker-id/--workers against --workers here\n");
+      return 1;
     }
     // Cluster from the summaries the workers actually sent: the wire-borne
     // equivalent of core::cluster_clients (and identical to it for the same
     // flags, since the f64 tables round-trip bit-exactly).
-    const auto labels =
-        core::cluster_distances(core::summary_distances(summaries), haccs);
+    const auto labels = core::cluster_distances(
+        core::summary_distances(fleet.summaries()), haccs);
     selector = std::make_unique<core::HaccsSelector>(labels, haccs);
   } else {
     std::fprintf(stderr, "unknown strategy '%s' (random|haccs-py)\n",
@@ -186,11 +331,35 @@ int main(int argc, char** argv) try {
   dispatch_config.work.compression = engine_config.compression;
   dispatch_config.send_timeout_ms = io_timeout_ms;
   dispatch_config.recv_timeout_ms = io_timeout_ms;
+  dispatch_config.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  dispatch_config.quorum_fraction = quorum;
+  dispatch_config.quorum_grace_ms = quorum_grace_ms;
+  // Liveness mode implies fleet management: dead workers may reconnect and
+  // reclaim their slot. With the default flags the dispatcher stays on the
+  // original strictly-serial path, byte-identical to earlier releases.
+  if (heartbeat_timeout_ms > 0 || quorum < 1.0) {
+    dispatch_config.reacquire = [&fleet](std::size_t w) {
+      return fleet.reacquire(w);
+    };
+  }
   std::vector<net::Transport*> worker_ptrs;
-  worker_ptrs.reserve(transports.size());
-  for (const auto& t : transports) worker_ptrs.push_back(t.get());
+  worker_ptrs.reserve(fleet.slots().size());
+  for (const auto& t : fleet.slots()) worker_ptrs.push_back(t.get());
   fl::TransportDispatcher dispatcher(std::move(worker_ptrs), dispatch_config);
   engine_config.dispatcher = &dispatcher;
+  engine_config.stop_requested = [] { return g_stop != 0; };
+
+  // Checkpoint cadence: hold the newest RunState, persist every Nth round;
+  // the drain path below flushes the newest one regardless of cadence.
+  std::optional<fl::RunState> latest_state;
+  if (!checkpoint_path.empty()) {
+    engine_config.on_checkpoint = [&](const fl::RunState& state) {
+      latest_state = state;
+      if (checkpoint_every == 0 || state.next_epoch % checkpoint_every == 0) {
+        fl::save_run_state(state, checkpoint_path);
+      }
+    };
+  }
 
   fl::FederatedTrainer trainer(
       fed, core::default_model_factory(fed, examples::kModelSeed),
@@ -200,25 +369,44 @@ int main(int argc, char** argv) try {
                selector->name().c_str(), fed.num_clients(),
                engine_config.clients_per_round, engine_config.rounds,
                num_workers);
-  const fl::TrainingHistory history = trainer.run(*selector);
+  const auto schedule = sim::make_always_available(fed.num_clients());
+  const fl::TrainingHistory history = trainer.run(
+      *selector, *schedule, resume_state ? &*resume_state : nullptr);
+
+  const bool drained = g_stop != 0 &&
+                       history.records().size() < engine_config.rounds;
+  if (drained) {
+    std::fprintf(stderr,
+                 "stop signal received: drained after round %zu of %zu\n",
+                 history.records().size(), engine_config.rounds);
+  }
+  // Final checkpoint flush — on a drain this is what --resume restarts from.
+  if (!checkpoint_path.empty() && latest_state) {
+    fl::save_run_state(*latest_state, checkpoint_path);
+  }
 
   // ---- wind down the fleet ----
   net::EvalReportMsg report;
-  report.epoch = engine_config.rounds;
+  report.epoch = history.records().size();
   report.accuracy = history.final_accuracy();
   report.loss = history.records().empty()
                     ? 0.0
                     : history.records().back().global_loss;
-  for (const auto& t : transports) {
+  for (const auto& t : fleet.slots()) {
+    if (!t) continue;
     t->send(net::encode_eval_report(report), io_timeout_ms);
     t->send(net::encode_shutdown(), io_timeout_ms);
   }
 
   // ---- report ----
+  auto counter_value = [](const char* name) {
+    return obs::Registry::global().counter(name).value();
+  };
   const auto& wire = net::NetMetrics::get();
   Table summary({"metric", "value"});
   summary.add_row({"strategy", selector->name()});
   summary.add_row({"workers", std::to_string(num_workers)});
+  summary.add_row({"rounds_completed", std::to_string(history.records().size())});
   summary.add_row({"final_accuracy", Table::num(history.final_accuracy(), 4)});
   summary.add_row({"best_accuracy", Table::num(history.best_accuracy(), 4)});
   summary.add_row({"total_sim_time_s", Table::num(history.total_time(), 1)});
@@ -232,6 +420,16 @@ int main(int argc, char** argv) try {
       {"net_bytes_received", std::to_string(wire.bytes_received.value())});
   summary.add_row(
       {"net_frames_corrupt", std::to_string(wire.frames_corrupt.value())});
+  summary.add_row({"net_reconnects",
+                   std::to_string(counter_value("net_reconnects_total"))});
+  summary.add_row({"heartbeats_missed",
+                   std::to_string(counter_value("heartbeats_missed_total"))});
+  summary.add_row(
+      {"rounds_quorum_degraded",
+       std::to_string(counter_value("rounds_quorum_degraded_total"))});
+  summary.add_row(
+      {"checkpoints_written",
+       std::to_string(counter_value("checkpoints_written_total"))});
   summary.print();
 
   if (!summary_json.empty()) {
@@ -239,6 +437,9 @@ int main(int argc, char** argv) try {
     o.field("strategy", selector->name())
         .field("workers", num_workers)
         .field("rounds", engine_config.rounds)
+        .field("rounds_completed", history.records().size())
+        .field("resumed", resume_state.has_value())
+        .field("drained", drained)
         .field("clients", fed.num_clients())
         .field("per_round", engine_config.clients_per_round)
         .field("seed", exp.seed)
@@ -249,7 +450,13 @@ int main(int argc, char** argv) try {
         .field("downlink_bytes", history.total_downlink_bytes())
         .field("net_bytes_sent", wire.bytes_sent.value())
         .field("net_bytes_received", wire.bytes_received.value())
-        .field("net_frames_corrupt", wire.frames_corrupt.value());
+        .field("net_frames_corrupt", wire.frames_corrupt.value())
+        .field("net_reconnects", counter_value("net_reconnects_total"))
+        .field("heartbeats_missed", counter_value("heartbeats_missed_total"))
+        .field("rounds_quorum_degraded",
+               counter_value("rounds_quorum_degraded_total"))
+        .field("checkpoints_written",
+               counter_value("checkpoints_written_total"));
     std::FILE* f = std::fopen(summary_json.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", summary_json.c_str());

@@ -5,25 +5,41 @@
 // summary per hosted client (paper §IV-A), then serves TrainJob frames with
 // the identical local training the in-process engine runs — the job carries
 // the engine's forked RNG seed, so the round is bit-identical no matter
-// which process executes it. Exits on the server's Shutdown frame, when the
-// connection closes, or after --idle-timeout-ms without traffic (so an
-// orphaned worker never hangs a scripted launch).
+// which process executes it.
+//
+// Serving mode (DESIGN.md §5g): when the connection drops mid-run the worker
+// reconnects with capped exponential backoff + jitter, repeats the Hello +
+// summary handshake (the session resume the server's fleet expects), and
+// keeps serving — its WorkerLoop persists, so cross-round compression
+// residuals survive the reconnect. --heartbeat-interval-ms announces
+// liveness while training; --chaos-* injects seeded wire faults on the
+// worker's own outbound traffic.
+//
+// Exit codes: 0 orderly Shutdown; 1 usage/configuration error; 3 connect
+// retries exhausted; 4 idle timeout with no traffic.
 //
 //   ./haccs_worker --worker-id=0 --workers=2 --port-file=/tmp/port
 //       --rounds=5 --clients=12 --per-round=4
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "bench/harness.hpp"
 #include "examples/multiprocess_common.hpp"
 #include "src/fl/net_driver.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/tcp.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/stats/summary_codec.hpp"
 
 namespace {
+
+constexpr int kExitConnectExhausted = 3;
+constexpr int kExitIdleTimeout = 4;
 
 void print_usage() {
   std::puts(
@@ -36,9 +52,18 @@ void print_usage() {
       "                       id %% N == I (default 1)\n"
       "  --idle-timeout-ms=T  exit after T ms without traffic; <0 = wait\n"
       "                       forever (default 120000)\n"
+      "serving: --heartbeat-interval-ms=T  liveness beacons while serving\n"
+      "  --reconnect-attempts=N  consecutive failed connects before giving\n"
+      "                       up (default 10; exit code 3)\n"
+      "  --reconnect-backoff-ms=T  initial backoff, doubled per failure and\n"
+      "                       capped at 32x, with jitter (default 200)\n"
+      "chaos (outbound fault injection): --chaos-seed --chaos-drop\n"
+      "  --chaos-dup --chaos-reorder --chaos-corrupt --chaos-truncate\n"
+      "  --chaos-disconnect\n"
       "workload (must match the server's): --dataset --clients --per-round\n"
       "  --rounds --classes --seed --full --noise-scale\n"
-      "telemetry: --trace --metrics --events --log-level");
+      "telemetry: --trace --metrics --events --log-level\n"
+      "exit codes: 0 shutdown, 1 error, 3 connect exhausted, 4 idle timeout");
 }
 
 /// Polls `path` until it holds a port number (the server writes it after
@@ -80,57 +105,120 @@ int main(int argc, char** argv) try {
       static_cast<std::uint32_t>(flags.get_int("workers", 1));
   const int idle_timeout_ms =
       static_cast<int>(flags.get_int("idle-timeout-ms", 120000));
+  const int heartbeat_interval_ms =
+      static_cast<int>(flags.get_int("heartbeat-interval-ms", 0));
+  const int reconnect_attempts =
+      static_cast<int>(flags.get_int("reconnect-attempts", 10));
+  const int reconnect_backoff_ms =
+      static_cast<int>(flags.get_int("reconnect-backoff-ms", 200));
+  const net::ChaosOptions chaos = examples::parse_chaos_flags(flags);
   flags.check_unused();
   if (num_workers == 0 || worker_id >= num_workers) {
     std::fprintf(stderr, "--worker-id must lie in [0, --workers)\n");
     return 1;
   }
-  if (!port_file.empty()) port = wait_for_port_file(port_file, 30000);
 
   const data::FederatedDataset fed = examples::build_federation(exp);
-
-  net::TcpConnectOptions connect_options;
-  auto transport = net::connect_tcp(host, port, connect_options);
-  if (!transport) {
-    std::fprintf(stderr, "worker %u: cannot reach %s:%u\n", worker_id,
-                 host.c_str(), port);
-    return 1;
-  }
 
   std::vector<std::size_t> hosted;
   for (std::size_t id = 0; id < fed.num_clients(); ++id) {
     if (id % num_workers == worker_id) hosted.push_back(id);
   }
-  net::HelloMsg hello;
-  hello.worker_id = worker_id;
-  hello.num_clients = static_cast<std::uint32_t>(hosted.size());
-  if (transport->send(net::encode_hello(hello)) != net::TransportStatus::Ok) {
-    std::fprintf(stderr, "worker %u: handshake send failed\n", worker_id);
-    return 1;
-  }
-  for (std::size_t id : hosted) {
-    const auto summary = stats::summarize_response(fed.clients[id].train);
-    const auto status = transport->send(net::encode_summary(
-        stats::encode_summary_msg(static_cast<std::uint32_t>(id), summary)));
-    if (status != net::TransportStatus::Ok) {
-      std::fprintf(stderr, "worker %u: summary upload for client %zu failed\n",
-                   worker_id, id);
-      return 1;
-    }
-  }
-  std::fprintf(stderr, "worker %u: connected to %s, hosting %zu client(s)\n",
-               worker_id, transport->peer().c_str(), hosted.size());
 
   fl::WorkerLoopConfig loop_config;
   loop_config.worker_id = worker_id;
   loop_config.recv_timeout_ms = idle_timeout_ms;
   loop_config.exit_on_timeout = idle_timeout_ms >= 0;
+  loop_config.heartbeat_interval_ms = heartbeat_interval_ms;
+  // One WorkerLoop for the whole process lifetime: it owns the per-client
+  // compression residuals, which must survive reconnects.
   fl::WorkerLoop loop(fed,
                       core::default_model_factory(fed, examples::kModelSeed),
-                      *transport, loop_config);
-  const std::size_t served = loop.run();
+                      loop_config);
+
+  obs::Counter& reconnects =
+      obs::Registry::global().counter("net_reconnects_total");
+  // Deterministic jitter stream — reproducible launches, desynchronized
+  // stampedes (each worker id jitters differently).
+  Rng jitter_rng(exp.seed ^ 0x7ec0ffeeULL ^ worker_id);
+
+  int failed_connects = 0;  // consecutive; reset by a served session
+  std::size_t sessions = 0;
+  for (;;) {
+    // Re-read the port file every cycle: a server restarted with --resume
+    // may have re-bound to a fresh ephemeral port.
+    if (!port_file.empty()) port = wait_for_port_file(port_file, 30000);
+    auto transport = net::connect_tcp(host, port, net::TcpConnectOptions{});
+    bool handshake_ok = false;
+    if (transport) {
+      // Session (re-)establishment: Hello with the hosted-client roster,
+      // then the one-per-client summary uplink — same protocol on first
+      // connect and on every resume, so the server can rebuild its view.
+      handshake_ok =
+          transport->send(net::encode_hello(net::HelloMsg{
+              worker_id, static_cast<std::uint32_t>(hosted.size())})) ==
+          net::TransportStatus::Ok;
+      for (std::size_t id : hosted) {
+        if (!handshake_ok) break;
+        const auto summary = stats::summarize_response(fed.clients[id].train);
+        handshake_ok =
+            transport->send(net::encode_summary(stats::encode_summary_msg(
+                static_cast<std::uint32_t>(id), summary))) ==
+            net::TransportStatus::Ok;
+      }
+    }
+    if (!transport || !handshake_ok) {
+      ++failed_connects;
+      if (failed_connects > reconnect_attempts) {
+        std::fprintf(stderr,
+                     "worker %u: %d consecutive connect attempts failed; "
+                     "giving up\n",
+                     worker_id, failed_connects);
+        return kExitConnectExhausted;
+      }
+      // Capped exponential backoff with jitter in [0.5, 1.5)x.
+      const int shift = std::min(failed_connects - 1, 5);
+      const double backoff =
+          static_cast<double>(reconnect_backoff_ms) *
+          static_cast<double>(1 << shift) *
+          (0.5 + jitter_rng.uniform());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(backoff)));
+      continue;
+    }
+    failed_connects = 0;
+    if (sessions > 0) reconnects.inc();
+    ++sessions;
+    std::fprintf(stderr,
+                 "worker %u: session %zu on %s, hosting %zu client(s)\n",
+                 worker_id, sessions, transport->peer().c_str(),
+                 hosted.size());
+
+    // Chaos wraps the established session (the handshake above runs clean;
+    // chaos targets steady-state serving traffic). Fork the seed per
+    // session so a reconnect does not replay the identical fault script.
+    auto session =
+        net::wrap_chaos(std::move(transport),
+                        [&] {
+                          net::ChaosOptions forked = chaos;
+                          forked.seed =
+                              chaos.seed ^ (0xd15c0113c7ULL * sessions) ^
+                              worker_id;
+                          return forked;
+                        }());
+
+    const fl::WorkerRunEnd end = loop.serve(*session);
+    if (end == fl::WorkerRunEnd::Shutdown) break;
+    if (end == fl::WorkerRunEnd::IdleTimeout) {
+      std::fprintf(stderr, "worker %u: idle timeout, served %zu job(s)\n",
+                   worker_id, loop.jobs_served());
+      return kExitIdleTimeout;
+    }
+    std::fprintf(stderr, "worker %u: connection lost, reconnecting\n",
+                 worker_id);
+  }
   std::fprintf(stderr, "worker %u: done, served %zu job(s)\n", worker_id,
-               served);
+               loop.jobs_served());
 
   obs::flush();
   return 0;

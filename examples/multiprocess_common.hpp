@@ -7,9 +7,14 @@
 // its local data.
 #pragma once
 
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
 #include "bench/harness.hpp"
 #include "src/common/rng.hpp"
 #include "src/data/partition.hpp"
+#include "src/net/chaos.hpp"
 
 namespace haccs::examples {
 
@@ -23,5 +28,35 @@ inline data::FederatedDataset build_federation(
 /// The model-factory seed both processes must agree on (same constant
 /// tools/haccs_run.cpp uses, so a TCP run is comparable to a local one).
 inline constexpr std::uint64_t kModelSeed = 99;
+
+/// Publishes the listen port atomically: write a sibling temp file, then
+/// rename over `path`. A worker polling the file either sees nothing or the
+/// complete port — never a partially written number (the old plain-fopen
+/// write raced the worker's poll).
+inline void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write " + tmp);
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot publish port file " + path);
+  }
+}
+
+/// Shared --chaos-* flags (both binaries take the same knobs; each process
+/// injects on its own outbound traffic).
+inline net::ChaosOptions parse_chaos_flags(const Flags& flags) {
+  net::ChaosOptions chaos;
+  chaos.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 1));
+  chaos.drop_rate = flags.get_double("chaos-drop", 0.0);
+  chaos.duplicate_rate = flags.get_double("chaos-dup", 0.0);
+  chaos.reorder_rate = flags.get_double("chaos-reorder", 0.0);
+  chaos.corrupt_rate = flags.get_double("chaos-corrupt", 0.0);
+  chaos.truncate_rate = flags.get_double("chaos-truncate", 0.0);
+  chaos.disconnect_rate = flags.get_double("chaos-disconnect", 0.0);
+  return chaos;
+}
 
 }  // namespace haccs::examples

@@ -41,6 +41,16 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// The full generator state, exposed so long-running services can
+  /// checkpoint and resume a stream bit-exactly (fl/checkpoint.hpp). The
+  /// Box-Muller cache is part of the state: dropping it would shift every
+  /// subsequent normal() draw by one.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
 
   /// UniformRandomBitGenerator interface (usable with std::shuffle etc.).
@@ -106,6 +116,20 @@ class Rng {
   /// with replacement (the paper's Weighted-SRSWR primitive).
   std::vector<std::size_t> sample_with_replacement(
       std::span<const double> weights, std::size_t k);
+
+  State state() const {
+    State out;
+    for (std::size_t i = 0; i < 4; ++i) out.s[i] = s_[i];
+    out.cached_normal = cached_normal_;
+    out.has_cached_normal = has_cached_normal_;
+    return out;
+  }
+
+  void set_state(const State& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
 
  private:
   std::uint64_t s_[4];

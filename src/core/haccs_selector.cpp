@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/mutation.hpp"
+#include "src/net/wire.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 
@@ -94,6 +95,41 @@ void HaccsSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
 
 double HaccsSelector::failure_penalty_of(std::size_t client_id) const {
   return client_id < penalty_.size() ? penalty_[client_id] : 1.0;
+}
+
+std::vector<std::uint8_t> HaccsSelector::save_state() const {
+  net::WireWriter w;
+  w.string("HACCS");
+  w.u16(1);  // state-blob version
+  w.f64_array(penalty_);
+  w.u64(replacement_queue_.size());
+  for (std::size_t cluster : replacement_queue_) {
+    w.u64(static_cast<std::uint64_t>(cluster));
+  }
+  return w.take();
+}
+
+void HaccsSelector::load_state(std::span<const std::uint8_t> state) {
+  net::WireReader r(state);
+  if (r.string() != "HACCS") {
+    throw std::runtime_error("HaccsSelector: state blob from another selector");
+  }
+  if (r.u16() != 1) {
+    throw std::runtime_error("HaccsSelector: unsupported state version");
+  }
+  auto penalty = r.f64_array();
+  if (penalty.size() != penalty_.size()) {
+    throw std::runtime_error("HaccsSelector: state population mismatch");
+  }
+  const auto queue_len = r.u64();
+  std::vector<std::size_t> queue;
+  queue.reserve(static_cast<std::size_t>(queue_len));
+  for (std::uint64_t i = 0; i < queue_len; ++i) {
+    queue.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  r.expect_exhausted();
+  penalty_ = std::move(penalty);
+  replacement_queue_ = std::move(queue);
 }
 
 std::vector<double> HaccsSelector::cluster_weights(

@@ -46,6 +46,12 @@ class HaccsSelector final : public fl::ClientSelector {
   /// exposed for tests.
   double failure_penalty_of(std::size_t client_id) const;
 
+  /// Crash-resume state: failure penalties and the pending replacement
+  /// queue. Clusters themselves are rebuilt deterministically from the
+  /// dataset, so they are not part of the blob.
+  std::vector<std::uint8_t> save_state() const override;
+  void load_state(std::span<const std::uint8_t> state) override;
+
   /// Re-runs clustering (e.g. after clients join/leave or summaries change,
   /// §IV-C's real-time adaptation).
   void recluster(const data::FederatedDataset& dataset);

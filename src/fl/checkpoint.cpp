@@ -1,0 +1,227 @@
+#include "src/fl/checkpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "src/net/frame.hpp"
+#include "src/net/wire.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace haccs::fl {
+
+namespace {
+
+// Distinguishes run checkpoints from model-parameter checkpoints
+// (nn/serialize.hpp) sharing the Checkpoint frame type.
+constexpr const char* kRunStateMagic = "HACCS-RUN";
+
+void write_rng_state(net::WireWriter& w, const Rng::State& s) {
+  for (std::uint64_t word : s.s) w.u64(word);
+  w.f64(s.cached_normal);
+  w.u8(s.has_cached_normal ? 1 : 0);
+}
+
+Rng::State read_rng_state(net::WireReader& r) {
+  Rng::State s;
+  for (std::uint64_t& word : s.s) word = r.u64();
+  s.cached_normal = r.f64();
+  s.has_cached_normal = r.u8() != 0;
+  return s;
+}
+
+void write_ids(net::WireWriter& w, const std::vector<std::size_t>& ids) {
+  w.u64(ids.size());
+  for (std::size_t id : ids) w.u64(static_cast<std::uint64_t>(id));
+}
+
+std::vector<std::size_t> read_ids(net::WireReader& r) {
+  const auto n = r.u64();
+  std::vector<std::size_t> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  return ids;
+}
+
+void write_record(net::WireWriter& w, const RoundRecord& rec) {
+  w.u64(rec.epoch);
+  w.f64(rec.sim_time_s);
+  w.f64(rec.round_duration_s);
+  w.f64(rec.global_accuracy);
+  w.f64(rec.global_loss);
+  write_ids(w, rec.selected);
+  w.u64(rec.dispatched);
+  w.f64(rec.deadline_s);
+  write_ids(w, rec.crashed);
+  write_ids(w, rec.late);
+  write_ids(w, rec.rejected);
+  w.u64(rec.downlink_bytes);
+  w.u64(rec.uplink_bytes);
+  // PhaseTimings deliberately omitted: wall-clock noise, zeroed on load.
+}
+
+RoundRecord read_record(net::WireReader& r) {
+  RoundRecord rec;
+  rec.epoch = static_cast<std::size_t>(r.u64());
+  rec.sim_time_s = r.f64();
+  rec.round_duration_s = r.f64();
+  rec.global_accuracy = r.f64();
+  rec.global_loss = r.f64();
+  rec.selected = read_ids(r);
+  rec.dispatched = static_cast<std::size_t>(r.u64());
+  rec.deadline_s = r.f64();
+  rec.crashed = read_ids(r);
+  rec.late = read_ids(r);
+  rec.rejected = read_ids(r);
+  rec.downlink_bytes = static_cast<std::size_t>(r.u64());
+  rec.uplink_bytes = static_cast<std::size_t>(r.u64());
+  return rec;
+}
+
+struct CheckpointMetrics {
+  obs::Counter& written =
+      obs::Registry::global().counter("checkpoints_written_total");
+  obs::Histogram& write_seconds = obs::Registry::global().histogram(
+      "checkpoint_write_seconds",
+      {0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0});
+
+  static CheckpointMetrics& get() {
+    static CheckpointMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_run_state(const RunState& state) {
+  net::WireWriter w;
+  w.string(kRunStateMagic);
+  w.u16(kRunStateVersion);
+  w.u64(state.next_epoch);
+  w.f64(state.sim_time_s);
+  w.f64(state.last_accuracy);
+  w.f64(state.last_loss);
+  w.f32_array(state.global_params);
+  write_rng_state(w, state.select_rng);
+  write_rng_state(w, state.train_rng);
+  w.f64_array(state.client_last_loss);
+  w.u64(state.breakers.size());
+  for (const auto& b : state.breakers) {
+    w.u64(b.consecutive_failures);
+    w.u64(b.trips);
+    w.u64(b.open_until);
+    w.u8(b.tripped ? 1 : 0);
+  }
+  w.u8_array(state.selector_state);
+  w.u64(state.records.size());
+  for (const auto& rec : state.records) write_record(w, rec);
+  return net::encode_frame(net::Frame{net::MessageType::Checkpoint, w.take()});
+}
+
+RunState decode_run_state(std::span<const std::uint8_t> bytes) {
+  net::Frame frame;
+  switch (net::decode_frame(bytes, &frame)) {
+    case net::FrameStatus::Ok:
+      break;
+    case net::FrameStatus::NeedMore:
+      throw std::runtime_error("decode_run_state: truncated checkpoint");
+    case net::FrameStatus::BadChecksum:
+      throw std::runtime_error(
+          "decode_run_state: checkpoint CRC mismatch (corrupt file)");
+    default:
+      throw std::runtime_error("decode_run_state: not a HACCS checkpoint");
+  }
+  if (frame.type != net::MessageType::Checkpoint) {
+    throw std::runtime_error("decode_run_state: frame is not a checkpoint");
+  }
+  try {
+    net::WireReader r(frame.payload);
+    if (r.string() != kRunStateMagic) {
+      throw std::runtime_error(
+          "decode_run_state: not a run checkpoint (model parameters?)");
+    }
+    const std::uint16_t version = r.u16();
+    if (version != kRunStateVersion) {
+      throw std::runtime_error(
+          "decode_run_state: unsupported run-checkpoint version " +
+          std::to_string(version));
+    }
+    RunState state;
+    state.next_epoch = static_cast<std::size_t>(r.u64());
+    state.sim_time_s = r.f64();
+    state.last_accuracy = r.f64();
+    state.last_loss = r.f64();
+    state.global_params = r.f32_array();
+    state.select_rng = read_rng_state(r);
+    state.train_rng = read_rng_state(r);
+    state.client_last_loss = r.f64_array();
+    const auto num_breakers = r.u64();
+    state.breakers.reserve(static_cast<std::size_t>(num_breakers));
+    for (std::uint64_t i = 0; i < num_breakers; ++i) {
+      sim::CircuitBreaker::Snapshot snap;
+      snap.consecutive_failures = static_cast<std::size_t>(r.u64());
+      snap.trips = static_cast<std::size_t>(r.u64());
+      snap.open_until = static_cast<std::size_t>(r.u64());
+      snap.tripped = r.u8() != 0;
+      state.breakers.push_back(snap);
+    }
+    state.selector_state = r.u8_array();
+    const auto num_records = r.u64();
+    state.records.reserve(static_cast<std::size_t>(num_records));
+    for (std::uint64_t i = 0; i < num_records; ++i) {
+      state.records.push_back(read_record(r));
+    }
+    r.expect_exhausted();
+    return state;
+  } catch (const net::WireError& e) {
+    throw std::runtime_error(
+        std::string("decode_run_state: malformed checkpoint payload: ") +
+        e.what());
+  }
+}
+
+void save_run_state(const RunState& state, const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto encoded = encode_run_state(state);
+  // Atomic publish: write + flush a sibling temp file, then rename over the
+  // destination. A crash at any point leaves either the old checkpoint or
+  // the complete new one — never a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_run_state: cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_run_state: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_run_state: rename to " + path + " failed");
+  }
+  CheckpointMetrics& metrics = CheckpointMetrics::get();
+  metrics.written.inc();
+  metrics.write_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+RunState load_run_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_run_state: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return decode_run_state(bytes);
+}
+
+}  // namespace haccs::fl

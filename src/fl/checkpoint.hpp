@@ -1,0 +1,70 @@
+// Crash-resume run checkpoints (DESIGN.md §5g).
+//
+// A RunState is everything the round engine accumulates across epochs that
+// cannot be recomputed from (dataset, config, seed): the global parameters,
+// the round index, both RNG stream states, per-client observed losses,
+// circuit-breaker states, the selector's opaque learned-state blob, and the
+// round records produced so far. Restoring a RunState and running the
+// remaining rounds produces bit-identical records to the uninterrupted run
+// (modulo wall-clock phase timings, which are zeroed in the checkpoint).
+//
+// On disk a checkpoint is a single net::MessageType::Checkpoint frame — the
+// same CRC-verified framing the wire uses — whose payload starts with its
+// own magic + version so model-parameter checkpoints (nn/serialize.hpp) and
+// run checkpoints fail loudly when fed to the wrong loader. Writes are
+// atomic: encode to `path + ".tmp"`, fsync, then rename over `path`, so a
+// kill -9 mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/fl/history.hpp"
+#include "src/sim/faults.hpp"
+
+namespace haccs::fl {
+
+/// Version of the RunState payload encoding. Bump on layout changes; the
+/// loader rejects unknown versions with a distinct error.
+inline constexpr std::uint16_t kRunStateVersion = 1;
+
+struct RunState {
+  /// The first epoch the resumed run should execute (last completed + 1).
+  std::size_t next_epoch = 0;
+  double sim_time_s = 0.0;
+  double last_accuracy = 0.0;
+  double last_loss = 0.0;
+  std::vector<float> global_params;
+  Rng::State select_rng;
+  Rng::State train_rng;
+  /// Most recent observed training loss per client (engine view state).
+  std::vector<double> client_last_loss;
+  /// Per-client circuit-breaker state, same order as the clients.
+  std::vector<sim::CircuitBreaker::Snapshot> breakers;
+  /// ClientSelector::save_state() blob (empty for stateless selectors).
+  std::vector<std::uint8_t> selector_state;
+  /// Rounds completed so far, with phase timings zeroed (wall-clock noise
+  /// has no business in a deterministic resume artifact).
+  std::vector<RoundRecord> records;
+};
+
+/// Serializes a RunState as one framed, CRC'd byte buffer (the exact bytes
+/// save_run_state writes to disk).
+std::vector<std::uint8_t> encode_run_state(const RunState& state);
+
+/// Parses a buffer produced by encode_run_state. Throws std::runtime_error
+/// with distinct messages for truncation, CRC mismatch, a non-checkpoint
+/// frame, a model-parameter (non-run) checkpoint, and version skew.
+RunState decode_run_state(std::span<const std::uint8_t> bytes);
+
+/// Atomically writes `state` to `path` (temp file + rename). Observes
+/// `checkpoint_write_seconds` and bumps `checkpoints_written_total`.
+void save_run_state(const RunState& state, const std::string& path);
+
+/// Reads and decodes a checkpoint written by save_run_state.
+RunState load_run_state(const std::string& path);
+
+}  // namespace haccs::fl

@@ -156,6 +156,12 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector) {
 
 TrainingHistory FederatedTrainer::run(ClientSelector& selector,
                                       const sim::DropoutSchedule& dropout) {
+  return run(selector, dropout, nullptr);
+}
+
+TrainingHistory FederatedTrainer::run(ClientSelector& selector,
+                                      const sim::DropoutSchedule& dropout,
+                                      const RunState* resume) {
   if (dropout.num_clients() != dataset_.clients.size()) {
     throw std::invalid_argument("run: dropout schedule arity mismatch");
   }
@@ -204,7 +210,65 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
 
   EngineMetrics& metrics = EngineMetrics::get();
 
-  for (std::size_t epoch = 0; epoch < config_.rounds; ++epoch) {
+  // Crash-resume: restore everything the loop below accumulates, so the
+  // remaining epochs replay bit-identically to an uninterrupted run.
+  std::size_t start_epoch = 0;
+  if (resume != nullptr) {
+    if (resume->client_last_loss.size() != dataset_.clients.size() ||
+        resume->breakers.size() != dataset_.clients.size()) {
+      throw std::invalid_argument("run: checkpoint population mismatch");
+    }
+    if (resume->global_params.size() != global_params.size()) {
+      throw std::invalid_argument("run: checkpoint model-shape mismatch");
+    }
+    if (resume->next_epoch > config_.rounds) {
+      throw std::invalid_argument("run: checkpoint beyond configured rounds");
+    }
+    start_epoch = resume->next_epoch;
+    global_params = resume->global_params;
+    select_rng.set_state(resume->select_rng);
+    train_rng.set_state(resume->train_rng);
+    clock.set_now(resume->sim_time_s);
+    last_accuracy = resume->last_accuracy;
+    last_loss = resume->last_loss;
+    for (std::size_t i = 0; i < dataset_.clients.size(); ++i) {
+      view[i].last_loss = resume->client_last_loss[i];
+      breakers[i].restore(resume->breakers[i]);
+    }
+    if (!resume->selector_state.empty()) {
+      selector.load_state(resume->selector_state);
+    }
+    for (const RoundRecord& rec : resume->records) history.add(rec);
+  }
+
+  // Snapshot of the loop state after the round that just completed — the
+  // payload handed to config_.on_checkpoint.
+  auto make_run_state = [&](std::size_t next_epoch) {
+    RunState state;
+    state.next_epoch = next_epoch;
+    state.sim_time_s = clock.now();
+    state.last_accuracy = last_accuracy;
+    state.last_loss = last_loss;
+    state.global_params = global_params;
+    state.select_rng = select_rng.state();
+    state.train_rng = train_rng.state();
+    state.client_last_loss.reserve(view.size());
+    for (const auto& info : view) {
+      state.client_last_loss.push_back(info.last_loss);
+    }
+    state.breakers.reserve(breakers.size());
+    for (const auto& b : breakers) state.breakers.push_back(b.snapshot());
+    state.selector_state = selector.save_state();
+    state.records = history.records();
+    for (RoundRecord& rec : state.records) rec.phase = PhaseTimings{};
+    return state;
+  };
+
+  for (std::size_t epoch = start_epoch; epoch < config_.rounds; ++epoch) {
+    if (config_.stop_requested && config_.stop_requested()) {
+      HACCS_INFO << "engine: stop requested, draining after epoch " << epoch;
+      break;
+    }
     obs::Span round_span("round", "fl");
     obs::StopWatch phase_clock;   // lap per phase -> RoundRecord::phase
     obs::StopWatch round_clock;   // whole-round wall time
@@ -468,6 +532,7 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       obs::RunEventLog::global().emit(round_event_json("sync", record));
     }
     history.add(std::move(record));
+    if (config_.on_checkpoint) config_.on_checkpoint(make_run_state(epoch + 1));
   }
   final_parameters_ = std::move(global_params);
   return history;

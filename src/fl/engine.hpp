@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/data/partition.hpp"
+#include "src/fl/checkpoint.hpp"
 #include "src/fl/client.hpp"
 #include "src/fl/compression.hpp"
 #include "src/fl/dispatch.hpp"
@@ -94,6 +95,16 @@ struct EngineConfig {
   /// engine. Point at a fl::TransportDispatcher (net_driver.hpp) to route
   /// rounds through a net::Transport — loopback threads or TCP processes.
   RoundDispatcher* dispatcher = nullptr;
+  /// Crash-resume hook: invoked after every completed round with the full
+  /// resumable state (checkpoint.hpp). Callers decide cadence and
+  /// persistence (e.g. save_run_state every Nth round). Unset = no
+  /// checkpointing, zero overhead.
+  std::function<void(const RunState&)> on_checkpoint;
+  /// Graceful-drain hook: polled at the start of every round; returning
+  /// true ends the run after the last completed round (the history simply
+  /// stops early). Lets a serving loop drain on SIGTERM instead of dying
+  /// mid-round. Unset = run all rounds.
+  std::function<bool()> stop_requested;
 };
 
 class FederatedTrainer {
@@ -112,6 +123,17 @@ class FederatedTrainer {
 
   /// Convenience overload with no dropout.
   TrainingHistory run(ClientSelector& selector);
+
+  /// Crash-resume entry point: restores `resume` (epoch cursor, parameters,
+  /// RNG streams, clock, breaker and selector state, prior records) and
+  /// runs the remaining rounds. The returned history contains ALL rounds —
+  /// restored plus newly executed — and is bit-identical to an
+  /// uninterrupted run's history modulo wall-clock phase timings. `resume`
+  /// must come from a run with the same dataset, config, and selector type;
+  /// nullptr behaves exactly like the plain overload.
+  TrainingHistory run(ClientSelector& selector,
+                      const sim::DropoutSchedule& dropout,
+                      const RunState* resume);
 
   const std::vector<sim::DeviceProfile>& profiles() const { return profiles_; }
   const sim::LatencyModel& latency_model() const { return latency_model_; }

@@ -1,13 +1,46 @@
 #include "src/fl/net_driver.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <utility>
 
 #include "src/common/logging.hpp"
 #include "src/fl/protocol.hpp"
 #include "src/net/wire.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace haccs::fl {
+
+namespace {
+
+/// Per-worker poll slice in the serving collection loop: short enough that
+/// one silent worker cannot starve the others' liveness checks.
+constexpr int kServeSliceMs = 10;
+
+struct ServingMetrics {
+  obs::Counter& heartbeats_missed =
+      obs::Registry::global().counter("heartbeats_missed_total");
+  obs::Counter& quorum_degraded =
+      obs::Registry::global().counter("rounds_quorum_degraded_total");
+  obs::Counter& reconnects =
+      obs::Registry::global().counter("net_reconnects_total");
+
+  static ServingMetrics& get() {
+    static ServingMetrics metrics;
+    return metrics;
+  }
+};
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TransportDispatcher
@@ -18,7 +51,12 @@ TransportDispatcher::TransportDispatcher(std::vector<net::Transport*> workers,
   if (workers_.empty()) {
     throw std::invalid_argument("TransportDispatcher: no workers");
   }
+  if (config_.quorum_fraction <= 0.0 || config_.quorum_fraction > 1.0) {
+    throw std::invalid_argument(
+        "TransportDispatcher: quorum_fraction must be in (0, 1]");
+  }
   outstanding_.resize(workers_.size());
+  dead_.assign(workers_.size(), false);
 }
 
 void TransportDispatcher::fail_front(std::size_t w, FailureKind kind,
@@ -99,6 +137,22 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
                                   std::vector<TrainOutcome>& outcomes) {
   for (auto& queue : outstanding_) queue.clear();
 
+  // Serving mode: give workers that died in an earlier round a fresh
+  // transport before fanning out, so a reconnected process rejoins the
+  // rotation instead of eating a round of Crash failures.
+  if (config_.reacquire) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!dead_[w]) continue;
+      if (net::Transport* fresh = config_.reacquire(w)) {
+        workers_[w] = fresh;
+        dead_[w] = false;
+        ServingMetrics::get().reconnects.inc();
+        HACCS_INFO << "dispatcher: worker " << w << " reacquired ("
+                   << fresh->peer() << ")";
+      }
+    }
+  }
+
   // Fan out. After each send, drain whatever already came back so neither
   // side ever sits blocked on a full buffer (a worker may be trying to send
   // its update while we are still sending jobs).
@@ -123,11 +177,25 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
     msg.error_feedback = config_.work.compression.error_feedback ? 1 : 0;
     msg.params = global_params;
 
-    const auto status =
+    auto status =
         workers_[w]->send(net::encode_train_job(msg), config_.send_timeout_ms);
+    if (status == net::TransportStatus::Closed && config_.reacquire &&
+        !dead_[w]) {
+      // The transport died between rounds (or mid-fan-out): try one
+      // immediate replacement before charging the job.
+      if (net::Transport* fresh = config_.reacquire(w)) {
+        workers_[w] = fresh;
+        ServingMetrics::get().reconnects.inc();
+        HACCS_INFO << "dispatcher: worker " << w << " reacquired mid-round ("
+                   << fresh->peer() << ")";
+        status = workers_[w]->send(net::encode_train_job(msg),
+                                   config_.send_timeout_ms);
+      }
+    }
     if (status == net::TransportStatus::Ok) {
       outstanding_[w].push_back(j);
     } else {
+      if (status == net::TransportStatus::Closed) dead_[w] = true;
       TrainOutcome& out = outcomes[job.slot];
       out.delivered = false;
       out.failure = status == net::TransportStatus::Timeout
@@ -150,6 +218,16 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
     }
   }
 
+  if (serving_enabled()) {
+    collect_serving(jobs, global_params, outcomes);
+  } else {
+    collect_serial(jobs, global_params, outcomes);
+  }
+}
+
+void TransportDispatcher::collect_serial(std::span<const TrainJobSpec> jobs,
+                                         const std::vector<float>& global_params,
+                                         std::vector<TrainOutcome>& outcomes) {
   // Collect everything still outstanding, worker by worker.
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     while (!outstanding_[w].empty()) {
@@ -177,19 +255,118 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
   }
 }
 
+void TransportDispatcher::collect_serving(
+    std::span<const TrainJobSpec> jobs,
+    const std::vector<float>& global_params,
+    std::vector<TrainOutcome>& outcomes) {
+  ServingMetrics& metrics = ServingMetrics::get();
+  const std::int64_t start = steady_ms();
+  std::vector<std::int64_t> last_heard(workers_.size(), start);
+
+  auto outstanding_total = [&] {
+    std::size_t n = 0;
+    for (const auto& queue : outstanding_) n += queue.size();
+    return n;
+  };
+  auto delivered_count = [&] {
+    std::size_t n = 0;
+    for (const TrainJobSpec& job : jobs) {
+      if (outcomes[job.slot].delivered) ++n;
+    }
+    return n;
+  };
+  const std::size_t quorum_target =
+      config_.quorum_fraction < 1.0
+          ? static_cast<std::size_t>(
+                std::ceil(config_.quorum_fraction *
+                          static_cast<double>(jobs.size())))
+          : jobs.size();
+  std::int64_t quorum_deadline = -1;  // set once the quorum first lands
+
+  while (outstanding_total() > 0) {
+    const std::int64_t now = steady_ms();
+    // Whole-round collection budget: fail the remainder rather than hang.
+    if (config_.recv_timeout_ms >= 0 && now - start > config_.recv_timeout_ms) {
+      HACCS_WARN << "serving: round collection budget ("
+                 << config_.recv_timeout_ms << " ms) exhausted; "
+                 << outstanding_total() << " job(s) abandoned";
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        fail_all(w, FailureKind::Timeout, outcomes);
+      }
+      break;
+    }
+    // Quorum commit: enough updates have landed — give stragglers one grace
+    // window, then cut the round loose.
+    if (config_.quorum_fraction < 1.0 && delivered_count() >= quorum_target) {
+      if (quorum_deadline < 0) {
+        quorum_deadline = now + config_.quorum_grace_ms;
+      }
+      if (now >= quorum_deadline) {
+        const std::size_t abandoned = outstanding_total();
+        if (abandoned > 0) {
+          metrics.quorum_degraded.inc();
+          HACCS_INFO << "serving: quorum (" << quorum_target << "/"
+                     << jobs.size() << ") reached; abandoning " << abandoned
+                     << " straggler job(s)";
+          for (std::size_t w = 0; w < workers_.size(); ++w) {
+            fail_all(w, FailureKind::Timeout, outcomes);
+          }
+        }
+        break;
+      }
+    }
+    // One short poll slice per worker that still owes updates. Any frame —
+    // updates and heartbeats alike — refreshes the worker's liveness clock.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (outstanding_[w].empty()) continue;
+      net::Frame frame;
+      const auto status = workers_[w]->recv(&frame, kServeSliceMs);
+      switch (status) {
+        case net::TransportStatus::Ok:
+          last_heard[w] = steady_ms();
+          handle_frame(w, frame, jobs, global_params, outcomes);
+          break;
+        case net::TransportStatus::Corrupt:
+          // A damaged frame is still proof of life.
+          last_heard[w] = steady_ms();
+          fail_front(w, FailureKind::CorruptUpdate, outcomes);
+          break;
+        case net::TransportStatus::Closed:
+          HACCS_WARN << "transport to " << workers_[w]->peer() << " closed; "
+                     << outstanding_[w].size() << " job(s) abandoned";
+          fail_all(w, FailureKind::Crash, outcomes);
+          dead_[w] = true;
+          break;
+        case net::TransportStatus::Timeout:
+          if (config_.heartbeat_timeout_ms > 0 &&
+              steady_ms() - last_heard[w] > config_.heartbeat_timeout_ms) {
+            metrics.heartbeats_missed.inc();
+            HACCS_WARN << "worker " << w << " (" << workers_[w]->peer()
+                       << ") silent for > " << config_.heartbeat_timeout_ms
+                       << " ms; declaring dead, "
+                       << outstanding_[w].size() << " job(s) abandoned";
+            fail_all(w, FailureKind::Crash, outcomes);
+            dead_[w] = true;
+          }
+          break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // WorkerLoop
 
 WorkerLoop::WorkerLoop(const data::FederatedDataset& dataset,
                        std::function<nn::Sequential()> model_factory,
-                       net::Transport& transport, WorkerLoopConfig config)
+                       WorkerLoopConfig config)
     : dataset_(dataset),
       model_factory_(std::move(model_factory)),
-      transport_(transport),
       config_(config),
       residuals_(dataset.clients.size()) {}
 
-void WorkerLoop::handle_train_job(const net::TrainJobMsg& msg) {
+void WorkerLoop::handle_train_job(net::Transport& transport,
+                                  const net::TrainJobMsg& msg) {
   if (msg.client_id >= dataset_.clients.size()) {
     HACCS_WARN << "TrainJob for unknown client " << msg.client_id
                << " (have " << dataset_.clients.size() << ")";
@@ -235,21 +412,63 @@ void WorkerLoop::handle_train_job(const net::TrainJobMsg& msg) {
   } else {
     reply.update = make_update_payload(compressed, n, work.compression);
   }
-  const auto status = transport_.send(net::encode_client_update(reply));
+  const auto status = transport.send(net::encode_client_update(reply));
   if (status != net::TransportStatus::Ok) {
     HACCS_WARN << "worker " << config_.worker_id << " failed to send update: "
                << net::to_string(status);
   }
 }
 
-std::size_t WorkerLoop::run() {
-  std::size_t served = 0;
+WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
+  // Serving-mode heartbeat: a side thread announces liveness on a fixed
+  // cadence so the server can tell "training a long job" from "gone".
+  // Transport::send is frame-granularity thread-safe (transport.hpp), so
+  // heartbeats may interleave with update replies but never tear them.
+  std::thread heartbeat;
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  if (config_.heartbeat_interval_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      for (;;) {
+        hb_cv.wait_for(lock,
+                       std::chrono::milliseconds(config_.heartbeat_interval_ms),
+                       [&] { return hb_stop; });
+        if (hb_stop) return;
+        net::HeartbeatMsg beat;
+        beat.sender_id = config_.worker_id;
+        beat.epoch = last_epoch_.load(std::memory_order_relaxed);
+        if (transport.send(net::encode_heartbeat(beat)) ==
+            net::TransportStatus::Closed) {
+          return;  // the main loop will observe the close too
+        }
+      }
+    });
+  }
+  auto stop_heartbeat = [&] {
+    if (!heartbeat.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  WorkerRunEnd end = WorkerRunEnd::Closed;
   for (;;) {
     net::Frame frame;
-    const auto status = transport_.recv(&frame, config_.recv_timeout_ms);
-    if (status == net::TransportStatus::Closed) break;
+    const auto status = transport.recv(&frame, config_.recv_timeout_ms);
+    if (status == net::TransportStatus::Closed) {
+      end = WorkerRunEnd::Closed;
+      break;
+    }
     if (status == net::TransportStatus::Timeout) {
-      if (config_.exit_on_timeout) break;
+      if (config_.exit_on_timeout) {
+        end = WorkerRunEnd::IdleTimeout;
+        break;
+      }
       continue;
     }
     if (status == net::TransportStatus::Corrupt) {
@@ -261,19 +480,23 @@ std::size_t WorkerLoop::run() {
     switch (frame.type) {
       case net::MessageType::TrainJob:
         try {
-          handle_train_job(net::decode_train_job(frame));
-          ++served;
+          const auto msg = net::decode_train_job(frame);
+          last_epoch_.store(msg.epoch, std::memory_order_relaxed);
+          handle_train_job(transport, msg);
+          ++served_;
         } catch (const net::WireError& e) {
           HACCS_WARN << "undecodable TrainJob: " << e.what();
         }
         break;
       case net::MessageType::Shutdown:
-        return served;
+        stop_heartbeat();
+        return WorkerRunEnd::Shutdown;
       default:
         break;  // SelectNotice / EvalReport / Heartbeat: informational
     }
   }
-  return served;
+  stop_heartbeat();
+  return end;
 }
 
 // ---------------------------------------------------------------------------
@@ -283,22 +506,40 @@ LoopbackCluster::LoopbackCluster(const data::FederatedDataset& dataset,
                                  std::function<nn::Sequential()> model_factory,
                                  std::size_t num_workers,
                                  const net::LoopbackOptions& options)
-    : served_(num_workers, 0) {
+    : LoopbackCluster(dataset, model_factory, num_workers,
+                      LoopbackClusterOptions{.loopback = options}) {}
+
+LoopbackCluster::LoopbackCluster(const data::FederatedDataset& dataset,
+                                 std::function<nn::Sequential()> model_factory,
+                                 std::size_t num_workers,
+                                 const LoopbackClusterOptions& options) {
   if (num_workers == 0) {
     throw std::invalid_argument("LoopbackCluster: need at least one worker");
   }
-  pairs_.reserve(num_workers);
+  server_side_.reserve(num_workers);
+  worker_side_.reserve(num_workers);
   loops_.reserve(num_workers);
   threads_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
-    pairs_.push_back(net::make_loopback_pair(options));
+    auto pair = net::make_loopback_pair(options.loopback);
+    // Both directions face the chaos independently, with seeds forked per
+    // (worker, direction) so every link replays deterministically.
+    net::ChaosOptions server_chaos = options.chaos;
+    server_chaos.seed = options.chaos.seed ^ (0x5e2f1d03ULL * (2 * i + 1));
+    net::ChaosOptions worker_chaos = options.chaos;
+    worker_chaos.seed = options.chaos.seed ^ (0x9b4aa217ULL * (2 * i + 2));
+    server_side_.push_back(
+        net::wrap_chaos(std::move(pair.a), server_chaos));
+    worker_side_.push_back(
+        net::wrap_chaos(std::move(pair.b), worker_chaos));
     WorkerLoopConfig cfg;
     cfg.worker_id = static_cast<std::uint32_t>(i);
-    loops_.push_back(std::make_unique<WorkerLoop>(dataset, model_factory,
-                                                  *pairs_[i].b, cfg));
+    cfg.heartbeat_interval_ms = options.worker_heartbeat_interval_ms;
+    loops_.push_back(
+        std::make_unique<WorkerLoop>(dataset, model_factory, cfg));
   }
   for (std::size_t i = 0; i < num_workers; ++i) {
-    threads_.emplace_back([this, i] { served_[i] = loops_[i]->run(); });
+    threads_.emplace_back([this, i] { loops_[i]->serve(*worker_side_[i]); });
   }
 }
 
@@ -306,15 +547,21 @@ LoopbackCluster::~LoopbackCluster() { shutdown(); }
 
 std::vector<net::Transport*> LoopbackCluster::server_transports() const {
   std::vector<net::Transport*> out;
-  out.reserve(pairs_.size());
-  for (const auto& pair : pairs_) out.push_back(pair.a.get());
+  out.reserve(server_side_.size());
+  for (const auto& transport : server_side_) out.push_back(transport.get());
   return out;
 }
 
 void LoopbackCluster::shutdown() {
   if (stopped_) return;
   stopped_ = true;
-  for (auto& pair : pairs_) pair.a->send(net::encode_shutdown());
+  for (auto& transport : server_side_) {
+    transport->send(net::encode_shutdown());
+    // Close after the Shutdown frame: loopback recv still delivers queued
+    // frames after a close, and if chaos dropped the Shutdown the close is
+    // what unblocks the worker — either way the thread exits.
+    transport->close();
+  }
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }

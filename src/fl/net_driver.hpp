@@ -11,19 +11,28 @@
 //   * WorkerLoop — the worker side: receive TrainJob, run the identical
 //     local training (run_local_job with the job's forked RNG seed), reply
 //     with a ClientUpdate whose tensor body is the priced wire form. Holds
-//     per-client compression residuals across rounds, like the in-process
-//     dispatcher does.
+//     per-client compression residuals across rounds (and across serve()
+//     calls, so a reconnecting worker resumes its error-feedback state).
 //   * LoopbackCluster — in-process worker threads over loopback transports:
 //     the full protocol (encode, CRC, decode) at memory speed. A loopback
 //     run is bit-identical to the direct in-process run for the same seed
 //     (pinned in tests/net_test.cpp); examples/haccs_server + haccs_worker
 //     run the same driver across real processes over TCP.
 //
+// Serving mode (DESIGN.md §5g): with heartbeat_timeout_ms, quorum_fraction,
+// or reacquire configured, the dispatcher collects with a round-robin poll
+// over live workers — any inbound frame (including Heartbeat) refreshes a
+// worker's liveness deadline, a silent worker is escalated to Crash, and the
+// round commits once a quorum of updates has landed instead of blocking on
+// stragglers. With all three left at their defaults the dispatcher runs the
+// original strictly-serial collection path, byte-identical to before.
+//
 // Corrupt-frame attribution: a frame that fails its CRC cannot name its
 // client, but workers process jobs strictly FIFO per transport, so the
 // damage is charged to the oldest outstanding job on that transport.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "src/fl/dispatch.hpp"
+#include "src/net/chaos.hpp"
 #include "src/net/loopback.hpp"
 #include "src/net/messages.hpp"
 #include "src/net/transport.hpp"
@@ -43,7 +53,25 @@ struct TransportDispatcherConfig {
   /// Per-frame send deadline, milliseconds (<0 = wait forever).
   int send_timeout_ms = 30000;
   /// Per-frame receive deadline while collecting updates (<0 = forever).
+  /// In serving mode this is the whole-round collection budget instead.
   int recv_timeout_ms = 30000;
+  /// Serving-mode liveness: a worker that has been silent (no update, no
+  /// heartbeat, nothing) for this long while it owes updates is declared
+  /// dead — its outstanding jobs fail as Crash and the engine's circuit
+  /// breaker / selector see the failure. 0 disables.
+  int heartbeat_timeout_ms = 0;
+  /// Quorum commit (< 1 enables): once this fraction of the round's
+  /// dispatched jobs have delivered updates, wait quorum_grace_ms longer,
+  /// then fail the stragglers as Timeout instead of blocking the round.
+  /// Pair with EngineConfig::overcommit so lost updates are re-covered by
+  /// over-selection instead of shrinking the aggregate.
+  double quorum_fraction = 1.0;
+  int quorum_grace_ms = 0;
+  /// Replacement-transport factory: when a worker's transport has died, the
+  /// dispatcher calls reacquire(w) at the next round's fan-out; a non-null
+  /// return (non-owning, caller keeps ownership) replaces the dead
+  /// transport. Unset = dead workers stay dead.
+  std::function<net::Transport*(std::size_t)> reacquire;
 };
 
 /// Server side: ships TrainJob frames, collects ClientUpdate frames.
@@ -58,6 +86,11 @@ class TransportDispatcher final : public RoundDispatcher {
                std::vector<TrainOutcome>& outcomes) override;
 
  private:
+  bool serving_enabled() const {
+    return config_.heartbeat_timeout_ms > 0 || config_.quorum_fraction < 1.0 ||
+           static_cast<bool>(config_.reacquire);
+  }
+
   /// Handles one frame received from worker `w`; returns true when it
   /// settled an outstanding job.
   bool handle_frame(std::size_t w, const net::Frame& frame,
@@ -69,41 +102,83 @@ class TransportDispatcher final : public RoundDispatcher {
   void fail_all(std::size_t w, FailureKind kind,
                 std::vector<TrainOutcome>& outcomes);
 
+  /// The original strictly-serial collection (flags-off path, byte-identical
+  /// to the pre-serving driver).
+  void collect_serial(std::span<const TrainJobSpec> jobs,
+                      const std::vector<float>& global_params,
+                      std::vector<TrainOutcome>& outcomes);
+  /// Serving-mode collection: round-robin slice polling with heartbeat
+  /// deadlines and quorum commit.
+  void collect_serving(std::span<const TrainJobSpec> jobs,
+                       const std::vector<float>& global_params,
+                       std::vector<TrainOutcome>& outcomes);
+
   std::vector<net::Transport*> workers_;
   TransportDispatcherConfig config_;
   /// Outstanding job indices (into the execute() jobs span) per worker, in
   /// send order — the FIFO that corrupt frames are attributed against.
   std::vector<std::deque<std::size_t>> outstanding_;
+  /// Workers whose transport returned Closed; candidates for reacquire.
+  std::vector<bool> dead_;
+};
+
+/// Why a WorkerLoop::serve() call returned.
+enum class WorkerRunEnd {
+  Shutdown,     ///< server sent an orderly Shutdown frame
+  Closed,       ///< transport closed / connection lost — caller may reconnect
+  IdleTimeout,  ///< exit_on_timeout hit with no work pending
 };
 
 struct WorkerLoopConfig {
   std::uint32_t worker_id = 0;
   /// Receive deadline while idle (<0 = wait forever for the next job).
   int recv_timeout_ms = -1;
-  /// Exit run() when an idle receive times out (otherwise keep waiting).
+  /// Exit serve() when an idle receive times out (otherwise keep waiting).
   bool exit_on_timeout = false;
+  /// Serving mode: send a Heartbeat frame this often so the server can tell
+  /// "alive but training" from "gone". 0 disables (no heartbeat thread).
+  int heartbeat_interval_ms = 0;
 };
 
 /// Worker side: serves TrainJob frames until Shutdown or the transport
-/// closes. One WorkerLoop instance must persist across rounds — it owns the
-/// per-client error-feedback residuals.
+/// closes. One WorkerLoop instance must persist across rounds — and across
+/// reconnects — because it owns the per-client error-feedback residuals.
 class WorkerLoop {
  public:
   WorkerLoop(const data::FederatedDataset& dataset,
              std::function<nn::Sequential()> model_factory,
-             net::Transport& transport, WorkerLoopConfig config = {});
+             WorkerLoopConfig config = {});
 
-  /// Serves until shutdown; returns the number of jobs completed.
-  std::size_t run();
+  /// Serves on `transport` until shutdown, close, or idle timeout. Callable
+  /// repeatedly (with a fresh transport after a reconnect); residuals and
+  /// the served-job count carry over.
+  WorkerRunEnd serve(net::Transport& transport);
+
+  /// Jobs completed across all serve() calls so far.
+  std::size_t jobs_served() const { return served_; }
 
  private:
-  void handle_train_job(const net::TrainJobMsg& msg);
+  void handle_train_job(net::Transport& transport,
+                        const net::TrainJobMsg& msg);
 
   const data::FederatedDataset& dataset_;
   std::function<nn::Sequential()> model_factory_;
-  net::Transport& transport_;
   WorkerLoopConfig config_;
   std::vector<std::vector<float>> residuals_;
+  std::size_t served_ = 0;
+  /// Last epoch seen in a TrainJob — echoed in heartbeats for diagnostics.
+  std::atomic<std::uint64_t> last_epoch_{0};
+};
+
+/// Knobs for LoopbackCluster beyond plain loopback options.
+struct LoopbackClusterOptions {
+  net::LoopbackOptions loopback;
+  /// When enabled, BOTH directions of every worker link are wrapped in a
+  /// ChaosTransport (per-direction forked seeds), so the dispatcher and the
+  /// workers each face a hostile wire.
+  net::ChaosOptions chaos;
+  /// Forwarded to each WorkerLoop (serving-mode heartbeats).
+  int worker_heartbeat_interval_ms = 0;
 };
 
 /// In-process worker fleet over loopback transports. Spawns one thread per
@@ -116,6 +191,10 @@ class LoopbackCluster {
                   std::function<nn::Sequential()> model_factory,
                   std::size_t num_workers,
                   const net::LoopbackOptions& options = {});
+  LoopbackCluster(const data::FederatedDataset& dataset,
+                  std::function<nn::Sequential()> model_factory,
+                  std::size_t num_workers,
+                  const LoopbackClusterOptions& options);
   ~LoopbackCluster();
 
   LoopbackCluster(const LoopbackCluster&) = delete;
@@ -124,16 +203,20 @@ class LoopbackCluster {
   std::vector<net::Transport*> server_transports() const;
 
   /// Jobs completed by worker `i` so far (valid after shutdown()/dtor join).
-  std::size_t jobs_served(std::size_t i) const { return served_.at(i); }
+  std::size_t jobs_served(std::size_t i) const {
+    return loops_.at(i)->jobs_served();
+  }
 
-  /// Sends Shutdown and joins all workers (idempotent; dtor calls it).
+  /// Sends Shutdown, closes the server-side transports (queued frames are
+  /// still delivered — and if chaos ate the Shutdown, the close itself ends
+  /// the worker), and joins all workers. Idempotent; the dtor calls it.
   void shutdown();
 
  private:
-  std::vector<net::LoopbackPair> pairs_;
+  std::vector<std::unique_ptr<net::Transport>> server_side_;
+  std::vector<std::unique_ptr<net::Transport>> worker_side_;
   std::vector<std::unique_ptr<WorkerLoop>> loops_;
   std::vector<std::thread> threads_;
-  std::vector<std::size_t> served_;
   bool stopped_ = false;
 };
 

@@ -11,6 +11,10 @@ void ClientSelector::report_update(std::size_t, std::span<const float>,
 
 void ClientSelector::report_failure(std::size_t, std::size_t, FailureKind) {}
 
+std::vector<std::uint8_t> ClientSelector::save_state() const { return {}; }
+
+void ClientSelector::load_state(std::span<const std::uint8_t>) {}
+
 std::vector<std::size_t> available_ids(
     const std::vector<ClientRuntimeInfo>& clients) {
   std::vector<std::size_t> ids;

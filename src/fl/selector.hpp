@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,6 +66,17 @@ class ClientSelector {
   /// TiFL refunds the tier credit. Default is a no-op.
   virtual void report_failure(std::size_t client_id, std::size_t epoch,
                               FailureKind kind);
+
+  /// Serializes the strategy's mutable learned state (penalties, observed
+  /// losses, credits — NOT the structure rebuilt by initialize()) as an
+  /// opaque blob for crash-resume checkpoints. The base implementation
+  /// returns empty: a stateless selector resumes correctly for free.
+  virtual std::vector<std::uint8_t> save_state() const;
+
+  /// Restores a blob produced by the same selector type's save_state(),
+  /// after initialize() has rebuilt the structural state. Throws
+  /// std::runtime_error on a blob from a different selector or population.
+  virtual void load_state(std::span<const std::uint8_t> state);
 
   virtual std::string name() const = 0;
 };

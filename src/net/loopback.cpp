@@ -43,6 +43,17 @@ class LoopbackTransport final : public Transport {
       obs::Span span("net_encode", "net");
       encoded = encode_frame(frame);
     }
+    return push_encoded(std::move(encoded), timeout_ms);
+  }
+
+  TransportStatus send_raw(std::span<const std::uint8_t> encoded,
+                           int timeout_ms) override {
+    return push_encoded({encoded.begin(), encoded.end()}, timeout_ms);
+  }
+
+ private:
+  TransportStatus push_encoded(std::vector<std::uint8_t> encoded,
+                               int timeout_ms) {
     Channel& ch = is_a_ ? shared_->a_to_b : shared_->b_to_a;
     const std::size_t corrupt_every = is_a_
                                           ? shared_->options.corrupt_every_n_a
@@ -73,6 +84,7 @@ class LoopbackTransport final : public Transport {
     return TransportStatus::Ok;
   }
 
+ public:
   TransportStatus recv(Frame* out, int timeout_ms) override {
     Channel& ch = is_a_ ? shared_->b_to_a : shared_->a_to_b;
     std::vector<std::uint8_t> encoded;

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -67,16 +68,25 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override { close(); }
 
   TransportStatus send(const Frame& frame, int timeout_ms) override {
-    if (fd_ < 0) return TransportStatus::Closed;
-    if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
     std::vector<std::uint8_t> encoded;
     {
       obs::Span span("net_encode", "net");
       encoded = encode_frame(frame);
     }
+    return send_raw(encoded, timeout_ms);
+  }
+
+  TransportStatus send_raw(std::span<const std::uint8_t> encoded,
+                           int timeout_ms) override {
+    if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
     obs::Span span("net_send", "net");
     const bool has_deadline = timeout_ms >= 0;
     const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    // One frame's bytes go out contiguously even when a heartbeat thread
+    // shares the transport: an interleaved write would desynchronize the
+    // peer's frame parser permanently.
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (fd_ < 0) return TransportStatus::Closed;
     std::size_t sent = 0;
     while (sent < encoded.size()) {
       if (!poll_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline))) {
@@ -85,6 +95,8 @@ class TcpTransport final : public Transport {
       const ssize_t n = ::send(fd_, encoded.data() + sent,
                                encoded.size() - sent, MSG_NOSIGNAL);
       if (n < 0) {
+        // EINTR (signal) and EAGAIN (poll raced the kernel buffer) are
+        // retryable mid-frame — a short write is never a fatal Closed.
         if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
         return TransportStatus::Closed;
       }
@@ -140,8 +152,12 @@ class TcpTransport final : public Transport {
   }
 
   void close() override {
+    // shutdown() first, outside the lock: it wakes a sender blocked in
+    // poll() (POLLOUT -> POLLERR) so the mutex frees promptly, and unblocks
+    // a concurrent recv().
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(send_mutex_);
     if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
       ::close(fd_);
       fd_ = -1;
     }
@@ -154,6 +170,7 @@ class TcpTransport final : public Transport {
   std::string peer_;
   int default_timeout_ms_;
   FrameParser parser_;
+  std::mutex send_mutex_;
 };
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
@@ -181,8 +198,27 @@ std::unique_ptr<Transport> connect_tcp(const std::string& host,
     }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) continue;
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno == EINTR) {
+      // POSIX: an EINTR'd connect keeps completing in the background.
+      // Retrying connect() would fail with EALREADY/EISCONN, so wait for
+      // writability and read the real outcome from SO_ERROR instead of
+      // treating the interruption as a failed attempt.
+      try {
+        if (poll_fd(fd, POLLOUT, 2000)) {
+          int so_error = -1;
+          socklen_t len = sizeof(so_error);
+          if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+              so_error == 0) {
+            rc = 0;
+          }
+        }
+      } catch (const std::exception&) {
+        rc = -1;
+      }
+    }
+    if (rc == 0) {
       return std::make_unique<TcpTransport>(
           fd, host + ":" + std::to_string(port), options.io_timeout_ms);
     }
@@ -232,7 +268,12 @@ std::unique_ptr<Transport> TcpListener::accept(int timeout_ms) {
   if (!poll_fd(fd_, POLLIN, timeout_ms)) return nullptr;
   sockaddr_in peer{};
   socklen_t len = sizeof(peer);
-  const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+  int fd;
+  do {
+    // A signal between poll() and accept() must not surface as "no
+    // connection": the pending connection is still queued, so retry.
+    fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return nullptr;
   char ip[INET_ADDRSTRLEN] = "?";
   ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "src/net/frame.hpp"
@@ -38,7 +39,17 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Sends one frame. Blocks up to `timeout_ms` (<0 = wait forever).
+  /// Thread-safe: concurrent senders interleave at frame (not byte)
+  /// granularity, so a worker's heartbeat thread can share the transport
+  /// with its serving loop.
   virtual TransportStatus send(const Frame& frame, int timeout_ms = -1) = 0;
+
+  /// Sends pre-encoded frame bytes verbatim (no CRC recomputation). This is
+  /// the injection seam ChaosTransport uses to put deliberately damaged
+  /// bytes on the wire; send() is encode_frame + send_raw. Same timeout and
+  /// thread-safety contract as send().
+  virtual TransportStatus send_raw(std::span<const std::uint8_t> encoded,
+                                   int timeout_ms = -1) = 0;
 
   /// Receives one frame into `out`. Blocks up to `timeout_ms` (<0 = wait
   /// forever). On Corrupt the damaged frame was consumed; the next recv

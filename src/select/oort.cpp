@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/net/wire.hpp"
+
 namespace haccs::select {
 
 OortSelector::OortSelector(OortConfig config) : config_(config) {
@@ -48,6 +50,47 @@ void OortSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
   if (client_id >= reliability_.size()) return;
   reliability_[client_id] = std::max(
       config_.min_reliability, reliability_[client_id] * config_.failure_factor);
+}
+
+std::vector<std::uint8_t> OortSelector::save_state() const {
+  net::WireWriter w;
+  w.string("Oort");
+  w.u16(1);  // state-blob version
+  w.f64(deadline_s_);
+  w.f64_array(observed_loss_);  // NaN sentinels round-trip bit-exactly
+  w.u64(last_round_.size());
+  for (std::size_t r : last_round_) w.u64(static_cast<std::uint64_t>(r));
+  w.f64_array(reliability_);
+  return w.take();
+}
+
+void OortSelector::load_state(std::span<const std::uint8_t> state) {
+  net::WireReader r(state);
+  if (r.string() != "Oort") {
+    throw std::runtime_error("OortSelector: state blob from another selector");
+  }
+  if (r.u16() != 1) {
+    throw std::runtime_error("OortSelector: unsupported state version");
+  }
+  const double deadline = r.f64();
+  auto observed = r.f64_array();
+  const auto rounds_len = r.u64();
+  std::vector<std::size_t> rounds;
+  rounds.reserve(static_cast<std::size_t>(rounds_len));
+  for (std::uint64_t i = 0; i < rounds_len; ++i) {
+    rounds.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  auto reliability = r.f64_array();
+  r.expect_exhausted();
+  if (observed.size() != observed_loss_.size() ||
+      rounds.size() != last_round_.size() ||
+      reliability.size() != reliability_.size()) {
+    throw std::runtime_error("OortSelector: state population mismatch");
+  }
+  deadline_s_ = deadline;
+  observed_loss_ = std::move(observed);
+  last_round_ = std::move(rounds);
+  reliability_ = std::move(reliability);
 }
 
 double OortSelector::reliability_of(std::size_t client_id) const {

@@ -60,6 +60,11 @@ class OortSelector final : public fl::ClientSelector {
   /// Reliability multiplier of a client (1 = never failed) — for tests.
   double reliability_of(std::size_t client_id) const;
 
+  /// Crash-resume state: deadline, observed losses, participation history,
+  /// and reliability multipliers.
+  std::vector<std::uint8_t> save_state() const override;
+  void load_state(std::span<const std::uint8_t> state) override;
+
  private:
   OortConfig config_;
   double deadline_s_ = 0.0;

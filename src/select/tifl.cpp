@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/net/wire.hpp"
+
 namespace haccs::select {
 
 TiflSelector::TiflSelector(TiflConfig config) : config_(config) {
@@ -41,6 +43,44 @@ void TiflSelector::initialize(
     tiers_[tier].members.push_back(order[rank]);
     tier_of_[order[rank]] = tier;
   }
+}
+
+std::vector<std::uint8_t> TiflSelector::save_state() const {
+  net::WireWriter w;
+  w.string("TiFL");
+  w.u16(1);  // state-blob version
+  w.u64(tiers_.size());
+  for (const Tier& t : tiers_) {
+    w.f64(t.credits);
+    w.f64(t.loss_sum);
+    w.u64(t.loss_count);
+  }
+  w.u64(last_k_);
+  return w.take();
+}
+
+void TiflSelector::load_state(std::span<const std::uint8_t> state) {
+  net::WireReader r(state);
+  if (r.string() != "TiFL") {
+    throw std::runtime_error("TiflSelector: state blob from another selector");
+  }
+  if (r.u16() != 1) {
+    throw std::runtime_error("TiflSelector: unsupported state version");
+  }
+  const auto num_tiers = r.u64();
+  if (num_tiers != tiers_.size()) {
+    throw std::runtime_error("TiflSelector: state tier-count mismatch");
+  }
+  std::vector<Tier> restored = tiers_;  // keep initialize()'s memberships
+  for (Tier& t : restored) {
+    t.credits = r.f64();
+    t.loss_sum = r.f64();
+    t.loss_count = static_cast<std::size_t>(r.u64());
+  }
+  const auto last_k = static_cast<std::size_t>(r.u64());
+  r.expect_exhausted();
+  tiers_ = std::move(restored);
+  last_k_ = last_k;
 }
 
 void TiflSelector::report_result(std::size_t client_id, double loss,

@@ -46,6 +46,11 @@ class TiflSelector final : public fl::ClientSelector {
   /// Remaining credits of a tier — exposed for tests.
   double tier_credits(std::size_t tier) const { return tiers_.at(tier).credits; }
 
+  /// Crash-resume state: per-tier credits and loss statistics (tier
+  /// membership is rebuilt deterministically by initialize()).
+  std::vector<std::uint8_t> save_state() const override;
+  void load_state(std::span<const std::uint8_t> state) override;
+
  private:
   struct Tier {
     std::vector<std::size_t> members;

@@ -120,6 +120,16 @@ class CircuitBreaker {
 
   enum class State { Closed, Open, HalfOpen };
 
+  /// Checkpointable mutable state (fl/checkpoint.hpp): everything the
+  /// breaker accumulates across epochs, so a resumed server quarantines the
+  /// same clients an uninterrupted run would.
+  struct Snapshot {
+    std::size_t consecutive_failures = 0;
+    std::size_t trips = 0;
+    std::size_t open_until = 0;
+    bool tripped = false;
+  };
+
   explicit CircuitBreaker(Config config);
 
   State state(std::size_t epoch) const;
@@ -133,6 +143,16 @@ class CircuitBreaker {
   std::size_t trips() const { return trips_; }
   /// First epoch at which a tripped breaker becomes half-open.
   std::size_t open_until() const { return open_until_; }
+
+  Snapshot snapshot() const {
+    return Snapshot{consecutive_failures_, trips_, open_until_, tripped_};
+  }
+  void restore(const Snapshot& snap) {
+    consecutive_failures_ = snap.consecutive_failures;
+    trips_ = snap.trips;
+    open_until_ = snap.open_until;
+    tripped_ = snap.tripped;
+  }
 
  private:
   Config config_;

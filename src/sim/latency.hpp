@@ -76,6 +76,10 @@ class SimClock {
 
   void reset() { now_s_ = 0.0; }
 
+  /// Restores the clock to an absolute time (crash-resume: the checkpointed
+  /// sim_time_s of the last completed round).
+  void set_now(double seconds) { now_s_ = seconds; }
+
  private:
   double now_s_ = 0.0;
 };

@@ -6,7 +6,12 @@
 //   Differential — the same scenario under paired configurations whose
 //   outputs the system guarantees to agree:
 //     * dispatch:  in-process vs loopback-transported rounds, byte-equal
-//                  round_event_json (the PR-4 guarantee);
+//                  round_event_json (the PR-4 guarantee). When the spec
+//                  enables transport chaos this becomes the chaos-liveness
+//                  oracle instead: the serving-mode dispatcher must commit
+//                  every round over the hostile wire (no hang) with all
+//                  damage attributed through the failure buckets, so the
+//                  RoundRecord conservation invariants hold unchanged;
 //     * telemetry: traced vs untraced runs, byte-equal modulo wall-clock
 //                  phase timings (the PR-3 guarantee);
 //     * kernels:   reference vs optimized GEMM/conv backends on a one-round

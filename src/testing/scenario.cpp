@@ -197,6 +197,18 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   s.fedprox = rng.bernoulli(0.25);
   s.workers = 1 + rng.uniform_index(3);  // 1..3
 
+  // Transport chaos on ~1/4 of scenarios: rates stay small so runs finish
+  // (every lost update costs a liveness/quorum timeout), but any non-zero
+  // rate sends the scenario down the serving-mode collection path.
+  if (rng.bernoulli(0.25)) {
+    s.chaos_drop = pick(rng, {0.0, 0.05, 0.1});
+    s.chaos_dup = pick(rng, {0.0, 0.05});
+    s.chaos_reorder = pick(rng, {0.0, 0.1});
+    s.chaos_corrupt = pick(rng, {0.0, 0.05});
+    s.chaos_truncate = pick(rng, {0.0, 0.02});
+    s.chaos_disconnect = pick(rng, {0.0, 0.0, 0.02});
+  }
+
   validate_spec(s);
   return s;
 }
@@ -229,6 +241,10 @@ void validate_spec(const ScenarioSpec& s) {
   if (s.workers == 0 || s.workers > 8) fail("workers out of range");
   if (s.klabels == 0 || s.klabels > s.classes) fail("klabels out of range");
   if (s.alpha <= 0.0) fail("alpha <= 0");
+  for (double rate : {s.chaos_drop, s.chaos_dup, s.chaos_reorder,
+                      s.chaos_corrupt, s.chaos_truncate, s.chaos_disconnect}) {
+    if (rate < 0.0 || rate > 1.0) fail("chaos rate outside [0, 1]");
+  }
 }
 
 std::string to_spec_string(const ScenarioSpec& s) {
@@ -257,7 +273,13 @@ std::string to_spec_string(const ScenarioSpec& s) {
      << ",deadline=" << format_double(s.deadline_quantile)
      << ",max_norm=" << format_double(s.max_update_norm)
      << ",dropout=" << format_double(s.dropout)
-     << ",fedprox=" << (s.fedprox ? 1 : 0) << ",workers=" << s.workers;
+     << ",fedprox=" << (s.fedprox ? 1 : 0) << ",workers=" << s.workers
+     << ",chaos_drop=" << format_double(s.chaos_drop)
+     << ",chaos_dup=" << format_double(s.chaos_dup)
+     << ",chaos_reorder=" << format_double(s.chaos_reorder)
+     << ",chaos_corrupt=" << format_double(s.chaos_corrupt)
+     << ",chaos_truncate=" << format_double(s.chaos_truncate)
+     << ",chaos_disconnect=" << format_double(s.chaos_disconnect);
   return os.str();
 }
 
@@ -308,6 +330,12 @@ ScenarioSpec parse_spec_string(const std::string& text) {
       else if (key == "dropout") s.dropout = std::stod(value);
       else if (key == "fedprox") s.fedprox = std::stoi(value) != 0;
       else if (key == "workers") s.workers = std::stoul(value);
+      else if (key == "chaos_drop") s.chaos_drop = std::stod(value);
+      else if (key == "chaos_dup") s.chaos_dup = std::stod(value);
+      else if (key == "chaos_reorder") s.chaos_reorder = std::stod(value);
+      else if (key == "chaos_corrupt") s.chaos_corrupt = std::stod(value);
+      else if (key == "chaos_truncate") s.chaos_truncate = std::stod(value);
+      else if (key == "chaos_disconnect") s.chaos_disconnect = std::stod(value);
       else throw std::invalid_argument("unknown spec key: " + key);
     } catch (const std::invalid_argument&) {
       throw;
@@ -428,6 +456,18 @@ std::unique_ptr<fl::ClientSelector> build_selector(
 std::function<nn::Sequential()> build_model_factory(
     const ScenarioSpec& /*spec*/, const data::FederatedDataset& dataset) {
   return core::default_model_factory(dataset, 99);
+}
+
+net::ChaosOptions build_chaos_options(const ScenarioSpec& spec) {
+  net::ChaosOptions chaos;
+  chaos.seed = spec.seed ^ 0xc4a05eedULL;
+  chaos.drop_rate = spec.chaos_drop;
+  chaos.duplicate_rate = spec.chaos_dup;
+  chaos.reorder_rate = spec.chaos_reorder;
+  chaos.corrupt_rate = spec.chaos_corrupt;
+  chaos.truncate_rate = spec.chaos_truncate;
+  chaos.disconnect_rate = spec.chaos_disconnect;
+  return chaos;
 }
 
 }  // namespace haccs::testing

@@ -24,6 +24,7 @@
 #include "src/fl/compression.hpp"
 #include "src/fl/engine.hpp"
 #include "src/fl/selector.hpp"
+#include "src/net/chaos.hpp"
 
 namespace haccs::testing {
 
@@ -82,6 +83,23 @@ struct ScenarioSpec {
   bool fedprox = false;
   /// Loopback worker count used by the transported-dispatch differential.
   std::size_t workers = 2;
+
+  // Transport chaos knobs (per-frame probabilities on every loopback link,
+  // both directions). All zero = clean wire; any non-zero switches the
+  // transported-dispatch oracle from the bit-identity differential to the
+  // chaos-liveness check (a hostile wire legitimately perturbs outcomes).
+  double chaos_drop = 0.0;
+  double chaos_dup = 0.0;
+  double chaos_reorder = 0.0;
+  double chaos_corrupt = 0.0;
+  double chaos_truncate = 0.0;
+  double chaos_disconnect = 0.0;
+
+  bool chaos_enabled() const {
+    return chaos_drop > 0.0 || chaos_dup > 0.0 || chaos_reorder > 0.0 ||
+           chaos_corrupt > 0.0 || chaos_truncate > 0.0 ||
+           chaos_disconnect > 0.0;
+  }
 };
 
 /// Draws a scenario as a pure function of `seed`.
@@ -108,5 +126,8 @@ std::unique_ptr<fl::ClientSelector> build_selector(
 /// The deterministic model factory every run of this scenario shares.
 std::function<nn::Sequential()> build_model_factory(
     const ScenarioSpec& spec, const data::FederatedDataset& dataset);
+/// Chaos knobs in transport form; seeded from spec.seed so a replayed spec
+/// injects the identical fault script.
+net::ChaosOptions build_chaos_options(const ScenarioSpec& spec);
 
 }  // namespace haccs::testing

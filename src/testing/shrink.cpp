@@ -16,8 +16,14 @@ std::vector<Pass> simplification_passes() {
   auto add = [&](Pass p) { passes.push_back(std::move(p)); };
 
   // Ordered roughly by how much noise each knob removes from a reproducer:
-  // fault machinery first, then the heavyweight subsystems, then workload
-  // size, then algorithm knobs back to their defaults.
+  // chaos and fault machinery first, then the heavyweight subsystems, then
+  // workload size, then algorithm knobs back to their defaults.
+  add([](ScenarioSpec& s) {
+    const bool changed = s.chaos_enabled();
+    s.chaos_drop = s.chaos_dup = s.chaos_reorder = 0.0;
+    s.chaos_corrupt = s.chaos_truncate = s.chaos_disconnect = 0.0;
+    return changed;
+  });
   add([](ScenarioSpec& s) {
     const bool changed = s.crash_rate != 0.0 || s.corruption_rate != 0.0 ||
                          s.straggler_rate != 0.0;

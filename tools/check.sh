@@ -109,6 +109,9 @@ else
   echo "python3 not found; skipping multi-process summary comparison"
 fi
 
+# Serving-mode smokes (chaos wire + kill-9/--resume), shared with CI.
+"$repo/tools/serving_smoke.sh" "$repo/build"
+
 if [[ "$skip_sanitize" -eq 0 ]]; then
   echo "== tier-1: ASan+UBSan build =="
   run_suite "$repo/build-sanitize" -DHACCS_SANITIZE=address,undefined
@@ -126,7 +129,7 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   # byte-offset work — exactly where out-of-bounds bugs hide.
   echo "== net protocol under ASan+UBSan =="
   "$repo/build-sanitize/tests/haccs_tests" \
-    --gtest_filter='Crc32.*:Wire.*:Frame*.*:NetCodec.*:SummaryCodec.*:Checkpoint.*:Loopback.*:Tcp.*'
+    --gtest_filter='Crc32.*:Wire.*:Frame*.*:NetCodec.*:SummaryCodec.*:Checkpoint.*:Loopback.*:Tcp.*:RunCheckpoint.*:ChaosTransport.*'
 
   # Observability subsystem under TSan: the trace buffer, metrics registry,
   # and event log are the only components mutated concurrently from the
@@ -143,7 +146,7 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   # frame traffic through the same dispatcher the server binary uses).
   echo "== net transports under TSan =="
   "$repo/build-tsan/tests/haccs_tests" \
-    --gtest_filter='Loopback.*:Tcp.*:TransportDispatcher.*:EngineOverTransport.*'
+    --gtest_filter='Loopback.*:Tcp.*:TransportDispatcher.*:EngineOverTransport.*:ChaosTransport.*:ServingDispatcher.*:WorkerReconnect.*'
 fi
 
 echo "== all checks passed =="

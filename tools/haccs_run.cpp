@@ -20,6 +20,7 @@
 
 #include "bench/harness.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/core/gradient_selector.hpp"
 #include "src/core/stratified_selector.hpp"
@@ -273,6 +274,20 @@ int main(int argc, char** argv) {
         .field("wasted_client_rounds", wasted_total)
         .field("uplink_bytes", history.total_uplink_bytes())
         .field("downlink_bytes", history.total_downlink_bytes())
+        .field("net_reconnects",
+               obs::Registry::global().counter("net_reconnects_total").value())
+        .field("heartbeats_missed",
+               obs::Registry::global()
+                   .counter("heartbeats_missed_total")
+                   .value())
+        .field("rounds_quorum_degraded",
+               obs::Registry::global()
+                   .counter("rounds_quorum_degraded_total")
+                   .value())
+        .field("checkpoints_written",
+               obs::Registry::global()
+                   .counter("checkpoints_written_total")
+                   .value())
         .field_raw("tta_s", tta.str());
     std::FILE* f = std::fopen(summary_json.c_str(), "w");
     if (!f) {
