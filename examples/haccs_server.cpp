@@ -84,6 +84,13 @@ void print_usage() {
 
 /// The worker fleet: initial accept, per-session chaos wrapping, and
 /// mid-run re-accept of reconnecting workers (serving mode).
+///
+/// Reconnects are staged in per-worker pending slots and only swapped into
+/// the live slot inside reacquire(w) for exactly the worker the dispatcher
+/// has declared dead. A worker can observe a disconnect and re-Hello before
+/// the server's next send/recv on the old link notices, so installing the
+/// fresh session eagerly would destroy a transport the dispatcher still
+/// holds a raw pointer to (use-after-free on the next fan-out).
 class Fleet {
  public:
   Fleet(haccs::net::TcpListener& listener, std::size_t num_workers,
@@ -94,7 +101,7 @@ class Fleet {
         io_timeout_ms_(io_timeout_ms),
         chaos_(chaos),
         slots_(num_workers),
-        fresh_(num_workers, false),
+        pending_(num_workers),
         generation_(num_workers, 0),
         summaries_(num_clients),
         have_summary_(num_clients, false) {}
@@ -111,10 +118,23 @@ class Fleet {
       }
       const int w = handshake(std::move(transport));
       if (w < 0) return false;
-      if (fresh_[static_cast<std::size_t>(w)]) {
-        fresh_[static_cast<std::size_t>(w)] = false;
-        ++connected;
+      const auto slot = static_cast<std::size_t>(w);
+      if (slots_[slot]) {
+        // A second Hello for an id that already completed the handshake is a
+        // launcher bug (two workers sharing a --worker-id). Fatal, as it was
+        // before serving mode: merely dropping the duplicate would let the
+        // misconfigured worker reconnect-with-backoff forever, each accept
+        // rearming the deadline — the run must not silently start with
+        // fewer distinct workers than --workers, nor hang here.
+        std::fprintf(stderr,
+                     "duplicate Hello for worker %d — check each worker's "
+                     "--worker-id\n",
+                     w);
+        pending_[slot].reset();
+        return false;
       }
+      slots_[slot] = std::move(pending_[slot]);
+      ++connected;
     }
     return true;
   }
@@ -122,14 +142,17 @@ class Fleet {
   /// TransportDispatcher reacquire hook: drains any pending reconnect
   /// attempts (short accept timeout — called once per round per dead
   /// worker), then hands back worker `w`'s slot if a fresh session arrived.
+  /// Only slot `w` may be touched here: the dispatcher has declared exactly
+  /// that transport dead, so freeing it is safe; reconnects from other
+  /// workers stay parked in pending_ until their own reacquire call.
   haccs::net::Transport* reacquire(std::size_t w) {
     for (;;) {
       auto transport = listener_.accept(kReacceptTimeoutMs);
       if (!transport) break;
       handshake(std::move(transport));  // failures just drop the connection
     }
-    if (w < fresh_.size() && fresh_[w]) {
-      fresh_[w] = false;
+    if (w < pending_.size() && pending_[w]) {
+      slots_[w] = std::move(pending_[w]);
       return slots_[w].get();
     }
     return nullptr;
@@ -152,8 +175,10 @@ class Fleet {
   static constexpr int kReacceptTimeoutMs = 200;
 
   /// Runs the Hello + summary handshake on a fresh connection; on success
-  /// installs it (chaos-wrapped) in its worker slot and returns the worker
-  /// id, else returns -1.
+  /// stages it (chaos-wrapped) in its worker's pending slot and returns the
+  /// worker id, else returns -1. A newer pending session replaces an older
+  /// one — only the latest reconnect matters, and nothing outside this
+  /// class ever saw the replaced transport.
   int handshake(std::unique_ptr<haccs::net::Transport> transport) {
     namespace net = haccs::net;
     net::Frame frame;
@@ -199,8 +224,7 @@ class Fleet {
     std::fprintf(stderr, "worker %u connected (%s), hosting %u client(s)\n",
                  hello.worker_id, transport->peer().c_str(),
                  hello.num_clients);
-    slots_[w] = net::wrap_chaos(std::move(transport), forked);
-    fresh_[w] = true;
+    pending_[w] = net::wrap_chaos(std::move(transport), forked);
     return static_cast<int>(w);
   }
 
@@ -209,7 +233,9 @@ class Fleet {
   int io_timeout_ms_;
   haccs::net::ChaosOptions chaos_;
   std::vector<std::unique_ptr<haccs::net::Transport>> slots_;
-  std::vector<bool> fresh_;
+  /// Handshaken reconnects staged per worker until the dispatcher declares
+  /// the old transport dead and claims the replacement via reacquire().
+  std::vector<std::unique_ptr<haccs::net::Transport>> pending_;
   std::vector<std::size_t> generation_;
   std::vector<haccs::core::ClientSummary> summaries_;
   std::vector<bool> have_summary_;
@@ -349,16 +375,21 @@ int main(int argc, char** argv) try {
   engine_config.dispatcher = &dispatcher;
   engine_config.stop_requested = [] { return g_stop != 0; };
 
-  // Checkpoint cadence: hold the newest RunState, persist every Nth round;
-  // the drain path below flushes the newest one regardless of cadence.
-  std::optional<fl::RunState> latest_state;
+  // Checkpoint cadence: persist every Nth round, plus the final round and
+  // the round a SIGTERM/SIGINT drain stops after (that save is what
+  // --resume restarts from). Skipped rounds never materialize the snapshot,
+  // so cadenced checkpointing costs O(history) per save, not per round.
   if (!checkpoint_path.empty()) {
-    engine_config.on_checkpoint = [&](const fl::RunState& state) {
-      latest_state = state;
-      if (checkpoint_every == 0 || state.next_epoch % checkpoint_every == 0) {
-        fl::save_run_state(state, checkpoint_path);
-      }
-    };
+    engine_config.on_checkpoint =
+        [&](std::size_t next_epoch,
+            const fl::EngineConfig::RunStateFactory& snapshot) {
+          const bool cadence =
+              checkpoint_every == 0 || next_epoch % checkpoint_every == 0;
+          if (!cadence && g_stop == 0 && next_epoch < engine_config.rounds) {
+            return;
+          }
+          fl::save_run_state(snapshot(), checkpoint_path);
+        };
   }
 
   fl::FederatedTrainer trainer(
@@ -380,11 +411,6 @@ int main(int argc, char** argv) try {
                  "stop signal received: drained after round %zu of %zu\n",
                  history.records().size(), engine_config.rounds);
   }
-  // Final checkpoint flush — on a drain this is what --resume restarts from.
-  if (!checkpoint_path.empty() && latest_state) {
-    fl::save_run_state(*latest_state, checkpoint_path);
-  }
-
   // ---- wind down the fleet ----
   net::EvalReportMsg report;
   report.epoch = history.records().size();

@@ -1,5 +1,9 @@
 #include "src/fl/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -187,27 +191,48 @@ RunState decode_run_state(std::span<const std::uint8_t> bytes) {
 void save_run_state(const RunState& state, const std::string& path) {
   const auto start = std::chrono::steady_clock::now();
   const auto encoded = encode_run_state(state);
-  // Atomic publish: write + flush a sibling temp file, then rename over the
-  // destination. A crash at any point leaves either the old checkpoint or
-  // the complete new one — never a torn file.
+  // Durable atomic publish: write + fsync a sibling temp file, rename it
+  // over the destination, then fsync the directory so the rename itself
+  // survives power loss. A crash at any point leaves either the old
+  // checkpoint or the complete new one — never a torn file.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("save_run_state: cannot open " + tmp);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("save_run_state: cannot open " + tmp);
+  }
+  auto fail = [&](const char* what) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error(std::string("save_run_state: ") + what + ": " +
+                             tmp);
+  };
+  std::size_t written = 0;
+  while (written < encoded.size()) {
+    const ssize_t n =
+        ::write(fd, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed");
     }
-    out.write(reinterpret_cast<const char*>(encoded.data()),
-              static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      throw std::runtime_error("save_run_state: write failed: " + tmp);
-    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) fail("fsync failed");
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_run_state: close failed: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("save_run_state: rename to " + path + " failed");
+  }
+  // Best effort — some filesystems refuse fsync on a directory fd.
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   CheckpointMetrics& metrics = CheckpointMetrics::get();
   metrics.written.inc();

@@ -241,8 +241,8 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
     for (const RoundRecord& rec : resume->records) history.add(rec);
   }
 
-  // Snapshot of the loop state after the round that just completed — the
-  // payload handed to config_.on_checkpoint.
+  // Snapshot of the loop state after the round that just completed —
+  // materialized only when an on_checkpoint hook asks for it.
   auto make_run_state = [&](std::size_t next_epoch) {
     RunState state;
     state.next_epoch = next_epoch;
@@ -532,7 +532,9 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       obs::RunEventLog::global().emit(round_event_json("sync", record));
     }
     history.add(std::move(record));
-    if (config_.on_checkpoint) config_.on_checkpoint(make_run_state(epoch + 1));
+    if (config_.on_checkpoint) {
+      config_.on_checkpoint(epoch + 1, [&] { return make_run_state(epoch + 1); });
+    }
   }
   final_parameters_ = std::move(global_params);
   return history;

@@ -95,11 +95,18 @@ struct EngineConfig {
   /// engine. Point at a fl::TransportDispatcher (net_driver.hpp) to route
   /// rounds through a net::Transport — loopback threads or TCP processes.
   RoundDispatcher* dispatcher = nullptr;
-  /// Crash-resume hook: invoked after every completed round with the full
-  /// resumable state (checkpoint.hpp). Callers decide cadence and
-  /// persistence (e.g. save_run_state every Nth round). Unset = no
-  /// checkpointing, zero overhead.
-  std::function<void(const RunState&)> on_checkpoint;
+  /// Materializes the full resumable state (checkpoint.hpp) for the round
+  /// that just completed. Calling it is what costs: a deep copy of the
+  /// parameters, the selector blob, and the whole record history so far.
+  using RunStateFactory = std::function<RunState()>;
+  /// Crash-resume hook: invoked after every completed round with the epoch
+  /// the next round would run and a factory for the resumable state.
+  /// Callers decide cadence and persistence (e.g. save_run_state every Nth
+  /// round); rounds whose hook never calls the factory pay nothing, so a
+  /// cadenced checkpointer is O(history) per save, not per round. Unset =
+  /// no checkpointing, zero overhead.
+  std::function<void(std::size_t next_epoch, const RunStateFactory&)>
+      on_checkpoint;
   /// Graceful-drain hook: polled at the start of every round; returning
   /// true ends the run after the last completed round (the history simply
   /// stops early). Lets a serving loop drain on SIGTERM instead of dying

@@ -446,15 +446,24 @@ WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
       }
     });
   }
-  auto stop_heartbeat = [&] {
-    if (!heartbeat.joinable()) return;
-    {
-      std::lock_guard<std::mutex> lock(hb_mutex);
-      hb_stop = true;
+  // RAII join: whatever path leaves serve() — Shutdown, close, idle
+  // timeout, or an exception escaping the loop body — the heartbeat thread
+  // is signalled and joined (a destroyed joinable std::thread terminates).
+  struct HeartbeatJoiner {
+    std::thread& thread;
+    std::mutex& mutex;
+    std::condition_variable& cv;
+    bool& stop;
+    ~HeartbeatJoiner() {
+      if (!thread.joinable()) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stop = true;
+      }
+      cv.notify_all();
+      thread.join();
     }
-    hb_cv.notify_all();
-    heartbeat.join();
-  };
+  } joiner{heartbeat, hb_mutex, hb_cv, hb_stop};
 
   WorkerRunEnd end = WorkerRunEnd::Closed;
   for (;;) {
@@ -489,13 +498,11 @@ WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
         }
         break;
       case net::MessageType::Shutdown:
-        stop_heartbeat();
         return WorkerRunEnd::Shutdown;
       default:
         break;  // SelectNotice / EvalReport / Heartbeat: informational
     }
   }
-  stop_heartbeat();
   return end;
 }
 

@@ -225,12 +225,14 @@ TEST(RunCheckpoint, ResumedRunIsBitIdenticalToUninterrupted) {
   bool captured = false;
   auto first_half_engine = engine;
   first_half_engine.rounds = kill_after;
-  first_half_engine.on_checkpoint = [&](const fl::RunState& state) {
-    if (state.next_epoch == kill_after) {
-      at_kill = state;
-      captured = true;
-    }
-  };
+  first_half_engine.on_checkpoint =
+      [&](std::size_t next_epoch,
+          const fl::EngineConfig::RunStateFactory& snapshot) {
+        if (next_epoch == kill_after) {
+          at_kill = snapshot();
+          captured = true;
+        }
+      };
   select::OortSelector half_selector{select::OortConfig{}};
   fl::FederatedTrainer half_trainer(
       fed, core::default_model_factory(fed, 99), first_half_engine);
@@ -259,9 +261,12 @@ TEST(RunCheckpoint, EngineEmitsACheckpointEveryRound) {
   const auto fed = make_fed();
   auto engine = make_engine(3);
   std::vector<std::size_t> next_epochs;
-  engine.on_checkpoint = [&](const fl::RunState& state) {
-    next_epochs.push_back(state.next_epoch);
-    EXPECT_EQ(state.records.size(), state.next_epoch);
+  engine.on_checkpoint = [&](std::size_t next_epoch,
+                             const fl::EngineConfig::RunStateFactory& snapshot) {
+    next_epochs.push_back(next_epoch);
+    const fl::RunState state = snapshot();
+    EXPECT_EQ(state.next_epoch, next_epoch);
+    EXPECT_EQ(state.records.size(), next_epoch);
     EXPECT_FALSE(state.global_params.empty());
   };
   select::RandomSelector selector;
@@ -275,8 +280,10 @@ TEST(RunCheckpoint, StopRequestedDrainsAfterCompletedRound) {
   const auto fed = make_fed();
   auto engine = make_engine(6);
   std::size_t completed = 0;
-  engine.on_checkpoint = [&](const fl::RunState& state) {
-    completed = state.next_epoch;
+  // Never calls the factory: a hook that skips a round must cost nothing.
+  engine.on_checkpoint = [&](std::size_t next_epoch,
+                             const fl::EngineConfig::RunStateFactory&) {
+    completed = next_epoch;
   };
   engine.stop_requested = [&] { return completed >= 2; };
   select::RandomSelector selector;
