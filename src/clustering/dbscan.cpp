@@ -7,25 +7,24 @@
 
 namespace haccs::clustering {
 
-std::vector<int> dbscan(const DistanceMatrix& distances,
-                        const DbscanConfig& config) {
+std::vector<int> dbscan(const NeighborIndex& index, const DbscanConfig& config) {
   if (config.eps < 0.0) throw std::invalid_argument("dbscan: eps < 0");
   if (config.min_pts == 0) throw std::invalid_argument("dbscan: min_pts == 0");
   obs::Span span("dbscan", "clustering");
-  const std::size_t n = distances.size();
+  const std::size_t n = index.size();
   constexpr int kUnvisited = -2;
   constexpr int kNoise = -1;
   std::vector<int> labels(n, kUnvisited);
 
-  auto is_core = [&](std::size_t p, const std::vector<std::size_t>& nbrs) {
+  auto is_core = [&](const std::vector<std::size_t>& nbrs) {
     return nbrs.size() + 1 >= config.min_pts;  // +1 counts the point itself
   };
 
   int next_cluster = 0;
   for (std::size_t p = 0; p < n; ++p) {
     if (labels[p] != kUnvisited) continue;
-    auto nbrs = distances.neighbors_within(p, config.eps);
-    if (!is_core(p, nbrs)) {
+    auto nbrs = index.neighbors_within(p, config.eps);
+    if (!is_core(nbrs)) {
       labels[p] = kNoise;
       continue;
     }
@@ -38,8 +37,8 @@ std::vector<int> dbscan(const DistanceMatrix& distances,
       if (labels[q] == kNoise) labels[q] = cluster;  // border point
       if (labels[q] != kUnvisited) continue;
       labels[q] = cluster;
-      auto q_nbrs = distances.neighbors_within(q, config.eps);
-      if (is_core(q, q_nbrs)) {
+      auto q_nbrs = index.neighbors_within(q, config.eps);
+      if (is_core(q_nbrs)) {
         for (std::size_t r : q_nbrs) {
           if (labels[r] == kUnvisited || labels[r] == kNoise) {
             frontier.push_back(r);
@@ -49,6 +48,11 @@ std::vector<int> dbscan(const DistanceMatrix& distances,
     }
   }
   return labels;
+}
+
+std::vector<int> dbscan(const DistanceMatrix& distances,
+                        const DbscanConfig& config) {
+  return dbscan(DenseNeighborIndex(distances), config);
 }
 
 }  // namespace haccs::clustering

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/clustering/distance_matrix.hpp"
+#include "src/clustering/neighbor_index.hpp"
 
 namespace haccs::clustering {
 
@@ -16,6 +17,10 @@ struct DbscanConfig {
   double eps = 0.3;
   std::size_t min_pts = 2;
 };
+
+/// DBSCAN over any neighbor index (dense-exact or ANN-pruned sparse; see
+/// neighbor_index.hpp for the seam contract).
+std::vector<int> dbscan(const NeighborIndex& index, const DbscanConfig& config);
 
 std::vector<int> dbscan(const DistanceMatrix& distances,
                         const DbscanConfig& config);

@@ -18,7 +18,9 @@ class DistanceMatrix {
 
   /// Builds the matrix by evaluating `distance(i, j)` for every i < j
   /// (diagonal fixed at 0, symmetry enforced). Evaluation is parallelized
-  /// over rows.
+  /// with balanced pairing: task t computes rows t and n-1-t, so every task
+  /// does exactly n-1 column evaluations (a plain per-row split gives the
+  /// first worker ~2x the last's load, since row i only owns n-i-1 columns).
   static DistanceMatrix build(
       std::size_t n,
       const std::function<double(std::size_t, std::size_t)>& distance);
@@ -36,6 +38,12 @@ class DistanceMatrix {
   /// Distance to the k-th nearest other point (k >= 1) — the core-distance
   /// primitive.
   double kth_nearest_distance(std::size_t center, std::size_t k) const;
+
+  /// Same, reusing `scratch` for the row copy instead of allocating an
+  /// n-element vector per call (OPTICS computes one core distance per point,
+  /// which made the per-call allocation a measurable cost at scale).
+  double kth_nearest_distance(std::size_t center, std::size_t k,
+                              std::vector<double>& scratch) const;
 
  private:
   std::size_t n_;

@@ -1,0 +1,113 @@
+#include "src/clustering/neighbor_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace haccs::clustering {
+
+std::vector<std::size_t> NeighborIndex::neighbors_within(std::size_t center,
+                                                         double eps) const {
+  std::vector<std::size_t> out;
+  for_each_neighbor_within(center, eps,
+                           [&](std::size_t j, double) { out.push_back(j); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DenseNeighborIndex
+
+void DenseNeighborIndex::for_each_neighbor_within(
+    std::size_t center, double eps,
+    const std::function<void(std::size_t, double)>& visit) const {
+  const std::size_t n = matrix_->size();
+  if (center >= n) throw std::out_of_range("for_each_neighbor_within");
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == center) continue;
+    const double d = matrix_->at(center, j);
+    if (d <= eps) visit(j, d);
+  }
+}
+
+double DenseNeighborIndex::kth_nearest_distance(
+    std::size_t center, std::size_t k, std::vector<double>& scratch) const {
+  return matrix_->kth_nearest_distance(center, k, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// SparseNeighborGraph
+
+SparseNeighborGraph::SparseNeighborGraph(std::size_t n) : adjacency_(n) {
+  if (n == 0) throw std::invalid_argument("SparseNeighborGraph: empty");
+}
+
+void SparseNeighborGraph::add_edge(std::size_t i, std::size_t j, double d) {
+  if (finalized_) {
+    throw std::logic_error("SparseNeighborGraph: add_edge after finalize");
+  }
+  if (i >= adjacency_.size() || j >= adjacency_.size() || i == j) {
+    throw std::out_of_range("SparseNeighborGraph::add_edge");
+  }
+  if (d < 0.0 || !std::isfinite(d)) {
+    throw std::invalid_argument("SparseNeighborGraph: bad distance");
+  }
+  adjacency_[i].push_back({j, d});
+  adjacency_[j].push_back({i, d});
+}
+
+void SparseNeighborGraph::finalize() {
+  edges_ = 0;
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end(), [](const Edge& a, const Edge& b) {
+      return a.to != b.to ? a.to < b.to : a.d < b.d;
+    });
+    adj.erase(std::unique(adj.begin(), adj.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.to == b.to;
+                          }),
+              adj.end());
+    adj.shrink_to_fit();
+    edges_ += adj.size();
+  }
+  edges_ /= 2;
+  finalized_ = true;
+}
+
+double SparseNeighborGraph::distance(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  const auto& adj = adjacency_[i];
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), j,
+      [](const Edge& e, std::size_t to) { return e.to < to; });
+  if (it != adj.end() && it->to == j) return it->d;
+  if (estimator_) return estimator_(i, j);
+  return std::numeric_limits<double>::infinity();
+}
+
+void SparseNeighborGraph::for_each_neighbor_within(
+    std::size_t center, double eps,
+    const std::function<void(std::size_t, double)>& visit) const {
+  for (const Edge& e : adjacency_[center]) {
+    if (e.d <= eps) visit(e.to, e.d);
+  }
+}
+
+double SparseNeighborGraph::kth_nearest_distance(
+    std::size_t center, std::size_t k, std::vector<double>& scratch) const {
+  if (center >= adjacency_.size()) {
+    throw std::out_of_range("kth_nearest_distance");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("kth_nearest_distance: k must be >= 1");
+  }
+  const auto& adj = adjacency_[center];
+  if (adj.size() < k) return std::numeric_limits<double>::infinity();
+  scratch.clear();
+  for (const Edge& e : adj) scratch.push_back(e.d);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scratch.end());
+  return scratch[k - 1];
+}
+
+}  // namespace haccs::clustering

@@ -1,0 +1,120 @@
+// Neighbor-query seam between distance storage and the density-based
+// clustering algorithms.
+//
+// OPTICS and DBSCAN only ever ask three questions of the pairwise distances:
+// "who is within eps of p", "how far is p's k-th nearest neighbor", and
+// (for extraction scoring) "how far apart are i and j". NeighborIndex is
+// that contract. Two implementations exist:
+//
+//   * DenseNeighborIndex  — adapter over the exact O(N²) DistanceMatrix.
+//     Query results are bit-identical to the pre-seam row scans, so the
+//     exact pipeline's output is unchanged (the runtime-toggle guarantee).
+//   * SparseNeighborGraph — adjacency lists holding exact distances for the
+//     ANN-pruned candidate pairs only (src/scale), with an optional
+//     estimator (sketch-space Hellinger) answering distance() for pairs the
+//     pruning skipped. Memory and query cost scale with the candidate
+//     degree, not N.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/clustering/distance_matrix.hpp"
+
+namespace haccs::clustering {
+
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  virtual std::size_t size() const = 0;
+
+  /// Distance between two points. Sparse implementations may answer with a
+  /// bounded-error estimate for pairs outside the candidate set.
+  virtual double distance(std::size_t i, std::size_t j) const = 0;
+
+  /// Invokes `visit(j, d)` for every j != center with d(center, j) <= eps,
+  /// in ascending j order (determinism contract: OPTICS tie-breaking and
+  /// DBSCAN frontier order depend on it).
+  virtual void for_each_neighbor_within(
+      std::size_t center, double eps,
+      const std::function<void(std::size_t, double)>& visit) const = 0;
+
+  /// Distance to the k-th nearest other point (k >= 1) — the core-distance
+  /// primitive. `scratch` is caller-provided storage reused across calls
+  /// (OPTICS calls this once per point; a fresh allocation per call was a
+  /// measurable cost at scale). Returns +infinity when fewer than k
+  /// neighbors are known to the index.
+  virtual double kth_nearest_distance(std::size_t center, std::size_t k,
+                                      std::vector<double>& scratch) const = 0;
+
+  /// Convenience form of for_each_neighbor_within collecting the ids.
+  std::vector<std::size_t> neighbors_within(std::size_t center,
+                                            double eps) const;
+};
+
+/// Exact adapter over a dense DistanceMatrix (the pre-PR behavior).
+class DenseNeighborIndex final : public NeighborIndex {
+ public:
+  explicit DenseNeighborIndex(const DistanceMatrix& matrix)
+      : matrix_(&matrix) {}
+
+  std::size_t size() const override { return matrix_->size(); }
+  double distance(std::size_t i, std::size_t j) const override {
+    return matrix_->at(i, j);
+  }
+  void for_each_neighbor_within(
+      std::size_t center, double eps,
+      const std::function<void(std::size_t, double)>& visit) const override;
+  double kth_nearest_distance(std::size_t center, std::size_t k,
+                              std::vector<double>& scratch) const override;
+
+ private:
+  const DistanceMatrix* matrix_;
+};
+
+/// Sparse symmetric neighbor graph over exact distances for candidate pairs.
+/// Built by scale::build_candidate_graph; adjacency is sorted by neighbor id
+/// after finalize(). Pairs without an edge fall back to `estimator` (when
+/// set) or +infinity, which density queries treat as "not a neighbor".
+class SparseNeighborGraph final : public NeighborIndex {
+ public:
+  explicit SparseNeighborGraph(std::size_t n);
+
+  /// Records d(i, j) = d(j, i) = d. Duplicate edges are tolerated
+  /// (deduplicated by finalize()); negative distances throw.
+  void add_edge(std::size_t i, std::size_t j, double d);
+
+  /// Sorts adjacency by neighbor id and deduplicates. Must be called before
+  /// any query; add_edge after finalize() throws.
+  void finalize();
+
+  /// Estimator for pairs outside the candidate set (e.g. sketch-space
+  /// Hellinger). Without one, distance() returns +infinity for such pairs.
+  void set_estimator(std::function<double(std::size_t, std::size_t)> est) {
+    estimator_ = std::move(est);
+  }
+
+  std::size_t size() const override { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_; }
+  double distance(std::size_t i, std::size_t j) const override;
+  void for_each_neighbor_within(
+      std::size_t center, double eps,
+      const std::function<void(std::size_t, double)>& visit) const override;
+  double kth_nearest_distance(std::size_t center, std::size_t k,
+                              std::vector<double>& scratch) const override;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double d;
+  };
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edges_ = 0;
+  bool finalized_ = false;
+  std::function<double(std::size_t, std::size_t)> estimator_;
+};
+
+}  // namespace haccs::clustering

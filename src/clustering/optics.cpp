@@ -17,47 +17,49 @@ std::vector<double> OpticsResult::reachability_plot() const {
   return plot;
 }
 
-OpticsResult optics(const DistanceMatrix& distances,
-                    const OpticsConfig& config) {
+OpticsResult optics(const NeighborIndex& index, const OpticsConfig& config) {
   if (config.min_pts == 0) throw std::invalid_argument("optics: min_pts == 0");
   obs::Span span("optics", "clustering");
-  const std::size_t n = distances.size();
+  const std::size_t n = index.size();
   OpticsResult result;
   result.ordering.reserve(n);
   result.reachability.assign(n, kUndefined);
   result.core_distance.assign(n, kUndefined);
 
   // Precompute core distances: distance to the (min_pts - 1)-th nearest
-  // other point, defined only when that distance is within max_eps.
+  // other point, defined only when that distance is within max_eps. A sparse
+  // index with fewer than min_pts - 1 candidate neighbors answers +infinity,
+  // which the isfinite guard maps to "not a core point".
+  std::vector<double> scratch;
   for (std::size_t p = 0; p < n; ++p) {
     if (config.min_pts == 1) {
       result.core_distance[p] = 0.0;
       continue;
     }
     if (config.min_pts - 1 < n) {
-      const double d = distances.kth_nearest_distance(p, config.min_pts - 1);
-      if (d <= config.max_eps) result.core_distance[p] = d;
+      const double d = index.kth_nearest_distance(p, config.min_pts - 1, scratch);
+      if (std::isfinite(d) && d <= config.max_eps) result.core_distance[p] = d;
     }
   }
 
   std::vector<bool> processed(n, false);
   // Seed list with linear min-extraction: O(n^2) overall, which is fine for
-  // the client counts a federated scheduler sees (tens to thousands).
+  // the client counts one shard of a federated scheduler sees (tens to
+  // thousands; src/scale bounds shard sizes).
   std::vector<std::size_t> seeds;
 
   auto update_seeds = [&](std::size_t center) {
     const double core = result.core_distance[center];
     if (core == kUndefined) return;
-    for (std::size_t o = 0; o < n; ++o) {
-      if (processed[o] || o == center) continue;
-      const double d = distances.at(center, o);
-      if (d > config.max_eps) continue;
-      const double new_reach = std::max(core, d);
-      if (new_reach < result.reachability[o]) {
-        if (result.reachability[o] == kUndefined) seeds.push_back(o);
-        result.reachability[o] = new_reach;
-      }
-    }
+    index.for_each_neighbor_within(
+        center, config.max_eps, [&](std::size_t o, double d) {
+          if (processed[o]) return;
+          const double new_reach = std::max(core, d);
+          if (new_reach < result.reachability[o]) {
+            if (result.reachability[o] == kUndefined) seeds.push_back(o);
+            result.reachability[o] = new_reach;
+          }
+        });
   };
 
   for (std::size_t start = 0; start < n; ++start) {
@@ -84,6 +86,11 @@ OpticsResult optics(const DistanceMatrix& distances,
   }
   HACCS_CHECK(result.ordering.size() == n);
   return result;
+}
+
+OpticsResult optics(const DistanceMatrix& distances,
+                    const OpticsConfig& config) {
+  return optics(DenseNeighborIndex(distances), config);
 }
 
 std::vector<int> extract_dbscan(const OpticsResult& result, double eps,
@@ -263,7 +270,7 @@ namespace {
 /// clusters by declaring loose-but-real clusters noise pays for every point
 /// it discards, and over-coarse cuts pay through inflated a_i.
 double mean_silhouette(const std::vector<int>& labels,
-                       const DistanceMatrix& distances) {
+                       const NeighborIndex& index) {
   const std::size_t n = labels.size();
   int max_label = -1;
   for (int l : labels) max_label = std::max(max_label, l);
@@ -282,12 +289,13 @@ double mean_silhouette(const std::vector<int>& labels,
     std::fill(sum_to_cluster.begin(), sum_to_cluster.end(), 0.0);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i || labels[j] < 0) continue;
-      sum_to_cluster[static_cast<std::size_t>(labels[j])] += distances.at(i, j);
+      sum_to_cluster[static_cast<std::size_t>(labels[j])] += index.distance(i, j);
     }
     const auto own = static_cast<std::size_t>(labels[i]);
     if (cluster_size[own] < 2) continue;  // singleton: silhouette 0
     const double a =
         sum_to_cluster[own] / static_cast<double>(cluster_size[own] - 1);
+    if (!std::isfinite(a)) continue;  // estimator-less sparse pair
     double b = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < k; ++c) {
       if (c == own || cluster_size[c] == 0) continue;
@@ -303,7 +311,7 @@ double mean_silhouette(const std::vector<int>& labels,
 }  // namespace
 
 std::vector<int> extract_auto(const OpticsResult& result,
-                              const DistanceMatrix& distances,
+                              const NeighborIndex& index,
                               std::size_t min_pts) {
   // "One cluster" fallback: a cut above every finite reachability.
   auto one_cluster = [&](double max_finite) {
@@ -359,7 +367,7 @@ std::vector<int> extract_auto(const OpticsResult& result,
   std::vector<int> best_labels;
   for (const auto& candidate : candidates) {
     auto labels = extract_dbscan(result, candidate.eps, min_pts);
-    const double score = mean_silhouette(labels, distances);
+    const double score = mean_silhouette(labels, index);
     if (score > best_score) {
       best_score = score;
       best_labels = std::move(labels);
@@ -369,4 +377,11 @@ std::vector<int> extract_auto(const OpticsResult& result,
   return one_cluster(finite.back());
 }
 
+std::vector<int> extract_auto(const OpticsResult& result,
+                              const DistanceMatrix& distances,
+                              std::size_t min_pts) {
+  return extract_auto(result, DenseNeighborIndex(distances), min_pts);
+}
+
 }  // namespace haccs::clustering
+

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/clustering/distance_matrix.hpp"
+#include "src/clustering/neighbor_index.hpp"
 
 namespace haccs::clustering {
 
@@ -43,6 +44,13 @@ struct OpticsResult {
   std::vector<double> reachability_plot() const;
 };
 
+/// OPTICS over any neighbor index. Eps-neighborhoods and core distances are
+/// served by the index, so the same algorithm runs on the exact dense matrix
+/// (DenseNeighborIndex — bit-identical to the pre-seam row scans) or on an
+/// ANN-pruned SparseNeighborGraph whose cost scales with candidate degree.
+OpticsResult optics(const NeighborIndex& index, const OpticsConfig& config);
+
+/// Exact path: dense-matrix adapter over the seam.
 OpticsResult optics(const DistanceMatrix& distances, const OpticsConfig& config);
 
 /// DBSCAN-equivalent clustering at `eps` from an OPTICS result.
@@ -64,6 +72,10 @@ std::vector<int> extract_xi(const OpticsResult& result, double xi,
 /// best cut is accepted only when that ratio shows real structure
 /// (within ≪ cross). Otherwise everything forms one cluster, which is the
 /// correct degeneration for IID data (paper §V-D1).
+std::vector<int> extract_auto(const OpticsResult& result,
+                              const NeighborIndex& index,
+                              std::size_t min_pts);
+
 std::vector<int> extract_auto(const OpticsResult& result,
                               const DistanceMatrix& distances,
                               std::size_t min_pts);

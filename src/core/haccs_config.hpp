@@ -6,6 +6,7 @@
 
 #include "src/clustering/dbscan.hpp"
 #include "src/clustering/optics.hpp"
+#include "src/scale/scale_config.hpp"
 #include "src/stats/distance.hpp"
 #include "src/stats/privacy.hpp"
 #include "src/stats/summary.hpp"
@@ -63,6 +64,13 @@ struct HaccsConfig {
   clustering::DbscanConfig dbscan{.eps = 0.3, .min_pts = 2};
 
   InClusterPolicy in_cluster = InClusterPolicy::MinLatency;
+
+  /// Million-client scaling (DESIGN.md §5h). Disabled by default: the exact
+  /// O(N²) pipeline runs unchanged. When enabled, clustering goes through
+  /// sketched summaries, ANN candidate pruning, sharding, and the
+  /// cluster-of-clusters merge (src/scale), with incremental re-clustering
+  /// under churn in HaccsSelector.
+  scale::ScaleConfig scale;
 
   /// Re-run the summary/clustering pipeline every N epochs (0 = cluster once
   /// at the start of training, the paper's Algorithm 1 default). Nonzero

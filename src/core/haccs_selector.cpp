@@ -18,7 +18,11 @@ HaccsSelector::HaccsSelector(const data::FederatedDataset& dataset,
   if (config_.rho < 0.0 || config_.rho > 1.0) {
     throw std::invalid_argument("HaccsSelector: rho must be in [0, 1]");
   }
-  build_clusters(cluster_clients(dataset, config_));
+  if (config_.scale.enabled) {
+    recluster_scaled(dataset, /*initial=*/true);
+  } else {
+    build_clusters(cluster_clients(dataset, config_));
+  }
 }
 
 HaccsSelector::HaccsSelector(std::vector<int> cluster_labels,
@@ -37,7 +41,74 @@ std::string HaccsSelector::name() const {
 void HaccsSelector::recluster(const data::FederatedDataset& dataset) {
   obs::Span span("recluster", "clustering");
   obs::Registry::global().counter("recluster_total").inc();
+  if (config_.scale.enabled) {
+    recluster_scaled(dataset, /*initial=*/false);
+    return;
+  }
   build_clusters(cluster_clients(dataset, config_));
+}
+
+void HaccsSelector::recluster_scaled(const data::FederatedDataset& dataset,
+                                     bool initial) {
+  obs::Span span("recluster_scaled", "clustering");
+  auto summaries = compute_summaries(dataset, config_);
+  if (incremental_ == nullptr) {
+    scale_summaries_ = std::make_shared<std::vector<ClientSummary>>();
+    // The callbacks capture the summary store and config by value (not
+    // `this`), so moving the selector cannot dangle them.
+    auto exact = [store = scale_summaries_,
+                  kind = config_.response_distance](std::size_t i,
+                                                    std::size_t j) {
+      return ClientSummary::distance((*store)[i], (*store)[j], kind);
+    };
+    auto cluster = [config = config_](const clustering::NeighborIndex& index) {
+      return cluster_index(index, config);
+    };
+    incremental_ = std::make_unique<scale::IncrementalClusterer>(
+        config_.scale.sketch_dim, std::move(exact), std::move(cluster),
+        config_.scale);
+  }
+  auto& store = *scale_summaries_;
+  const std::size_t old_n = scale_ids_.size();
+  const std::size_t new_n = summaries.size();
+
+  // Surviving clients: refresh those whose sketch changed (drift). A client
+  // with an identical sketch keeps its cached summary and clean shard.
+  for (std::size_t i = 0; i < std::min(old_n, new_n); ++i) {
+    const auto sketch = summary_embedding(summaries[i], config_.scale.sketch_dim,
+                                          config_.scale.seed);
+    const auto current = incremental_->sketches().row(scale_ids_[i]);
+    if (!std::equal(current.begin(), current.end(), sketch.begin())) {
+      store[scale_ids_[i]] = summaries[i];
+      incremental_->update_client(scale_ids_[i], sketch);
+    }
+  }
+  // Leaves: the dataset shrank — retire the tail.
+  for (std::size_t i = new_n; i < old_n; ++i) {
+    incremental_->remove_client(scale_ids_[i]);
+  }
+  if (new_n < old_n) scale_ids_.resize(new_n);
+  // Joins: the dataset grew.
+  for (std::size_t i = old_n; i < new_n; ++i) {
+    const auto sketch = summary_embedding(summaries[i], config_.scale.sketch_dim,
+                                          config_.scale.seed);
+    const std::size_t id = incremental_->add_client(sketch);
+    if (store.size() <= id) store.resize(id + 1);
+    store[id] = summaries[i];
+    scale_ids_.push_back(id);
+  }
+
+  if (initial) {
+    incremental_->rebuild();
+  } else {
+    incremental_->recompute_if_dirty();
+  }
+
+  std::vector<int> labels(new_n, -1);
+  for (std::size_t i = 0; i < new_n; ++i) {
+    labels[i] = incremental_->label_of(scale_ids_[i]);
+  }
+  build_clusters(std::move(labels));
 }
 
 void HaccsSelector::set_clusters(std::vector<int> cluster_labels) {

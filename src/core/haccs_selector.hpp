@@ -17,8 +17,11 @@
 // story: the next-fastest device with the same distribution stands in.
 #pragma once
 
+#include <memory>
+
 #include "src/core/pipeline.hpp"
 #include "src/fl/selector.hpp"
+#include "src/scale/incremental.hpp"
 
 namespace haccs::core {
 
@@ -53,8 +56,18 @@ class HaccsSelector final : public fl::ClientSelector {
   void load_state(std::span<const std::uint8_t> state) override;
 
   /// Re-runs clustering (e.g. after clients join/leave or summaries change,
-  /// §IV-C's real-time adaptation).
+  /// §IV-C's real-time adaptation). With config.scale.enabled this is
+  /// incremental: unchanged clients keep their cached shard clustering, and
+  /// a full recompute happens only when churn crosses the dirtiness
+  /// threshold (scale::IncrementalClusterer).
   void recluster(const data::FederatedDataset& dataset);
+
+  /// The incremental clusterer backing the scale path (null when
+  /// config.scale.enabled is false or the selector was label-constructed).
+  /// Exposed for tests and the --summary-json report.
+  const scale::IncrementalClusterer* incremental() const {
+    return incremental_.get();
+  }
 
   /// Replaces the cluster assignment wholesale (noise remapped to
   /// singletons). Used by dynamic schedulers that derive clusters from
@@ -75,6 +88,9 @@ class HaccsSelector final : public fl::ClientSelector {
 
  private:
   void build_clusters(std::vector<int> raw_labels);
+  /// Scale path: sync the incremental clusterer with the dataset (joins,
+  /// leaves, changed summaries) and refresh clusters_ from its labels.
+  void recluster_scaled(const data::FederatedDataset& dataset, bool initial);
 
   HaccsConfig config_;
   /// Set only by the dataset-constructing constructor; enables
@@ -86,6 +102,14 @@ class HaccsSelector final : public fl::ClientSelector {
   std::vector<double> penalty_;
   /// Clusters owed a replacement draw after a member failed mid-round.
   std::vector<std::size_t> replacement_queue_;
+
+  /// Scale path state. Summaries live behind a shared_ptr because the
+  /// clusterer's exact-distance callback captures them; the selector can be
+  /// moved without dangling the callback.
+  std::shared_ptr<std::vector<ClientSummary>> scale_summaries_;
+  std::unique_ptr<scale::IncrementalClusterer> incremental_;
+  /// Dataset index -> clusterer client id.
+  std::vector<std::size_t> scale_ids_;
 };
 
 }  // namespace haccs::core

@@ -1,9 +1,12 @@
 #include "src/core/pipeline.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "src/common/error.hpp"
+#include "src/common/threadpool.hpp"
 #include "src/obs/trace.hpp"
+#include "src/stats/sketch.hpp"
 
 namespace haccs::core {
 
@@ -103,16 +106,18 @@ namespace {
 constexpr double kSingleClusterMeanDistanceCap = 0.3;
 
 std::vector<int> dissolve_implausible_single_cluster(
-    std::vector<int> labels, const clustering::DistanceMatrix& distances) {
+    std::vector<int> labels, const clustering::NeighborIndex& index) {
   int max_label = -1;
   for (int l : labels) max_label = std::max(max_label, l);
   if (max_label != 0) return labels;  // zero or 2+ clusters: keep as-is
   double sum = 0.0;
   std::size_t count = 0;
-  const std::size_t n = distances.size();
+  const std::size_t n = index.size();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      sum += distances.at(i, j);
+      const double d = index.distance(i, j);
+      if (!std::isfinite(d)) continue;  // estimator-less sparse pair
+      sum += d;
       ++count;
     }
   }
@@ -125,17 +130,16 @@ std::vector<int> dissolve_implausible_single_cluster(
 
 }  // namespace
 
-std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
-                                   const HaccsConfig& config) {
+std::vector<int> cluster_index(const clustering::NeighborIndex& index,
+                               const HaccsConfig& config) {
   if (config.algorithm == ClusterAlgorithm::Dbscan) {
-    return clustering::dbscan(distances, config.dbscan);
+    return clustering::dbscan(index, config.dbscan);
   }
-  const auto result = clustering::optics(distances, config.optics);
+  const auto result = clustering::optics(index, config.optics);
   std::vector<int> labels;
   switch (config.extraction) {
     case Extraction::Auto:
-      labels =
-          clustering::extract_auto(result, distances, config.optics.min_pts);
+      labels = clustering::extract_auto(result, index, config.optics.min_pts);
       break;
     case Extraction::Xi:
       labels = clustering::extract_xi(result, config.xi, config.optics.min_pts);
@@ -145,13 +149,100 @@ std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
                                           config.optics.min_pts);
       break;
   }
-  return dissolve_implausible_single_cluster(std::move(labels), distances);
+  return dissolve_implausible_single_cluster(std::move(labels), index);
+}
+
+std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
+                                   const HaccsConfig& config) {
+  return cluster_index(clustering::DenseNeighborIndex(distances), config);
+}
+
+std::vector<float> summary_embedding(const ClientSummary& summary,
+                                     std::size_t dim, std::uint64_t seed) {
+  if (summary.kind == stats::SummaryKind::Response) {
+    // √-probability vector of P(y): identity-embedded (hence exact) when
+    // the class count fits the budget, signed-hash-projected otherwise.
+    const auto sqrt_probs =
+        stats::sqrt_embedding(summary.response.label_counts.counts());
+    return stats::project_embedding(sqrt_probs, dim, seed);
+  }
+  // Virtual feature space for structured summaries: (label, position) pairs
+  // packed into one index. The per-label stride only has to exceed any
+  // realistic bin/quantile count for indices to stay collision-free.
+  constexpr std::uint64_t kLabelStride = 1u << 16;
+  std::vector<float> out(dim, 0.0f);
+  if (summary.kind == stats::SummaryKind::Conditional) {
+    // Per-label √-histograms scaled by the label's √ mass share. The
+    // embedding has unit norm, and pairwise L2² / 2 approximates the
+    // mass-weighted average Hellinger used for exact distances.
+    double total = 0.0;
+    for (const auto& h : summary.conditional.per_label) total += h.total();
+    for (std::size_t c = 0; c < summary.conditional.per_label.size(); ++c) {
+      const auto& h = summary.conditional.per_label[c];
+      if (total <= 0.0 || h.total() <= 0.0) continue;
+      const double w = std::sqrt(h.total() / total);
+      const auto part = stats::sqrt_embedding(h.counts());
+      for (std::size_t b = 0; b < part.size(); ++b) {
+        stats::project_add(out, c * kLabelStride + b, w * part[b], seed);
+      }
+    }
+    return out;
+  }
+  // Quantile summaries: range-normalized quantile positions scaled by the
+  // label's √ mass share, normalized by √(num quantiles) so the embedding
+  // norm stays <= 1 and distances land in [0, 1] like the exact
+  // quantile_distance.
+  const auto& q = summary.quantile;
+  double total = 0.0;
+  for (double m : q.mass) total += m;
+  const double range =
+      std::max(summary.quantile_config.hi - summary.quantile_config.lo, 1e-12);
+  for (std::size_t c = 0; c < q.per_label.size(); ++c) {
+    if (q.per_label[c].empty() || total <= 0.0 || c >= q.mass.size()) continue;
+    const double w = std::sqrt(q.mass[c] / total) /
+                     std::sqrt(static_cast<double>(q.per_label[c].size()));
+    for (std::size_t k = 0; k < q.per_label[c].size(); ++k) {
+      const double pos = (q.per_label[c][k] - summary.quantile_config.lo) / range;
+      stats::project_add(out, c * kLabelStride + k, w * pos, seed);
+    }
+  }
+  return out;
+}
+
+std::vector<int> cluster_summaries_scaled(
+    const std::vector<ClientSummary>& summaries, const HaccsConfig& config,
+    scale::ScaleStats* stats) {
+  obs::Span span("cluster_scaled", "clustering");
+  if (summaries.empty()) {
+    throw std::invalid_argument("cluster_summaries_scaled: no summaries");
+  }
+  std::vector<std::vector<float>> rows(summaries.size());
+  parallel_for(0, summaries.size(), [&](std::size_t i) {
+    rows[i] =
+        summary_embedding(summaries[i], config.scale.sketch_dim,
+                          config.scale.seed);
+  });
+  scale::SketchMatrix sketches(config.scale.sketch_dim);
+  sketches.reserve(summaries.size());
+  for (const auto& row : rows) sketches.append(row);
+
+  const auto exact = [&summaries, &config](std::size_t i, std::size_t j) {
+    return ClientSummary::distance(summaries[i], summaries[j],
+                                   config.response_distance);
+  };
+  const auto cluster = [&config](const clustering::NeighborIndex& index) {
+    return cluster_index(index, config);
+  };
+  return scale::cluster_sharded(sketches, exact, cluster, config.scale, stats);
 }
 
 std::vector<int> cluster_clients(const data::FederatedDataset& dataset,
                                  const HaccsConfig& config) {
   obs::Span span("cluster_clients", "clustering");
   const auto summaries = compute_summaries(dataset, config);
+  if (config.scale.enabled) {
+    return cluster_summaries_scaled(summaries, config);
+  }
   const auto distances = summary_distances(summaries, config.response_distance);
   return cluster_distances(distances, config);
 }

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "src/clustering/distance_matrix.hpp"
+#include "src/clustering/neighbor_index.hpp"
 #include "src/core/haccs_config.hpp"
 #include "src/data/partition.hpp"
+#include "src/scale/scale.hpp"
 
 namespace haccs::core {
 
@@ -42,12 +44,36 @@ clustering::DistanceMatrix summary_distances(
     const std::vector<ClientSummary>& summaries,
     stats::DistanceKind response_kind = stats::DistanceKind::Hellinger);
 
+/// Runs the configured clustering through the NeighborIndex seam. Labels
+/// >= 0 are clusters; -1 is noise. With a DenseNeighborIndex this is
+/// bit-identical to the pre-seam matrix path; sparse indexes (src/scale)
+/// answer the same queries from the ANN candidate graph.
+std::vector<int> cluster_index(const clustering::NeighborIndex& index,
+                               const HaccsConfig& config);
+
 /// Runs the configured clustering on a distance matrix. Labels >= 0 are
 /// clusters; -1 is noise.
 std::vector<int> cluster_distances(const clustering::DistanceMatrix& distances,
                                    const HaccsConfig& config);
 
-/// Full pipeline: summaries -> distances -> clusters.
+/// Fixed-width sketch embedding of a summary (the scale pipeline's client
+/// representation): the √-probability vector of the summary's distribution,
+/// signed-hash-projected down to `dim` when it is wider. Sketch-space
+/// L2 / √2 then estimates the summary distance — exactly, for P(y)
+/// summaries with at most `dim` classes.
+std::vector<float> summary_embedding(const ClientSummary& summary,
+                                     std::size_t dim, std::uint64_t seed);
+
+/// Scale path: sketch embeddings -> ANN-pruned shards -> cluster-of-clusters
+/// merge (scale::cluster_sharded), with exact summary distances evaluated
+/// only for candidate pairs. `stats` (optional) receives work accounting.
+std::vector<int> cluster_summaries_scaled(
+    const std::vector<ClientSummary>& summaries, const HaccsConfig& config,
+    scale::ScaleStats* stats = nullptr);
+
+/// Full pipeline: summaries -> distances -> clusters. Dispatches to the
+/// scale path when config.scale.enabled; otherwise runs the exact O(N²)
+/// pipeline unchanged.
 std::vector<int> cluster_clients(const data::FederatedDataset& dataset,
                                  const HaccsConfig& config);
 

@@ -1,0 +1,205 @@
+#include "src/scale/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/threadpool.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/stats/sketch.hpp"
+
+namespace haccs::scale {
+
+namespace {
+
+obs::Counter& reclusters_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("scale_incremental_reclusters_total");
+  return c;
+}
+
+}  // namespace
+
+IncrementalClusterer::IncrementalClusterer(std::size_t sketch_dim,
+                                           ExactDistanceFn exact,
+                                           ClusterFn cluster,
+                                           ScaleConfig config)
+    : exact_(std::move(exact)),
+      cluster_(std::move(cluster)),
+      config_(std::move(config)),
+      sketches_(sketch_dim) {}
+
+std::size_t IncrementalClusterer::add_client(std::span<const float> sketch) {
+  std::size_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    sketches_.assign_row(id, sketch);
+  } else {
+    id = sketches_.append(sketch);
+    alive_.push_back(false);
+    shard_of_.push_back(0);
+    labels_.push_back(-1);
+  }
+  alive_[id] = true;
+
+  const std::size_t shard_size =
+      std::max<std::size_t>(1, config_.shard_size);
+  if (shards_.empty() || shards_.back().members.size() >= shard_size) {
+    shards_.emplace_back();
+    shard_dirty_.push_back(false);
+  }
+  const std::size_t shard = shards_.size() - 1;
+  shards_[shard].members.push_back(id);
+  shard_of_[id] = shard;
+  shard_dirty_[shard] = true;
+
+  assign_interim(id);
+  ++live_;
+  ++dirty_ops_;
+  return id;
+}
+
+void IncrementalClusterer::remove_client(std::size_t id) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalClusterer: id not live");
+  }
+  auto& shard = shards_[shard_of_[id]];
+  const auto it =
+      std::find(shard.members.begin(), shard.members.end(), id);
+  const std::size_t pos =
+      static_cast<std::size_t>(it - shard.members.begin());
+  shard.members.erase(it);
+  if (shard.labels.size() > pos) {
+    shard.labels.erase(shard.labels.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  shard_dirty_[shard_of_[id]] = true;
+
+  alive_[id] = false;
+  labels_[id] = -1;
+  free_.push_back(id);
+  --live_;
+  ++dirty_ops_;
+}
+
+void IncrementalClusterer::update_client(std::size_t id,
+                                         std::span<const float> sketch) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalClusterer: id not live");
+  }
+  sketches_.assign_row(id, sketch);
+  shard_dirty_[shard_of_[id]] = true;
+  assign_interim(id);
+  ++dirty_ops_;
+}
+
+int IncrementalClusterer::label_of(std::size_t id) const {
+  return alive(id) ? labels_[id] : -1;
+}
+
+double IncrementalClusterer::dirty_fraction() const {
+  return static_cast<double>(dirty_ops_) /
+         static_cast<double>(std::max<std::size_t>(1, live_));
+}
+
+bool IncrementalClusterer::recompute_if_dirty() {
+  if (dirty_ops_ == 0) return false;
+  if (dirty_fraction() < config_.dirty_threshold) return false;
+  recompute();
+  return true;
+}
+
+void IncrementalClusterer::recompute() {
+  obs::Span span("incremental_recompute", "clustering");
+  reclusters_counter().inc();
+
+  // Compact away shards churn emptied, so shard count tracks the live
+  // population instead of the join history.
+  std::size_t kept = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].members.empty()) continue;
+    if (kept != s) {
+      shards_[kept] = std::move(shards_[s]);
+      shard_dirty_[kept] = shard_dirty_[s];
+    }
+    for (std::size_t id : shards_[kept].members) shard_of_[id] = kept;
+    ++kept;
+  }
+  shards_.resize(kept);
+  shard_dirty_.resize(kept);
+
+  std::vector<std::size_t> dirty;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_dirty_[s]) dirty.push_back(s);
+  }
+  std::vector<ScaleStats> per_shard(dirty.size());
+  parallel_for(0, dirty.size(), [&](std::size_t i) {
+    auto& shard = shards_[dirty[i]];
+    shard.labels = cluster_shard(sketches_, shard.members, exact_, cluster_,
+                                 config_, &per_shard[i]);
+  });
+  for (std::size_t s : dirty) shard_dirty_[s] = false;
+  stats_.shards += dirty.size();
+  for (const auto& ps : per_shard) stats_.accumulate(ps);
+
+  ScaleStats merge_stats;
+  labels_ = merge_shards(sketches_, shards_, cluster_, config_, &merge_stats);
+  stats_.accumulate(merge_stats);
+
+  // Refresh cluster centroids for the cheap interim-assignment path.
+  int clusters = 0;
+  for (int label : labels_) clusters = std::max(clusters, label + 1);
+  centroids_.assign(static_cast<std::size_t>(clusters),
+                    std::vector<float>(sketches_.dim(), 0.0f));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(clusters), 0);
+  std::vector<std::vector<double>> sums(
+      static_cast<std::size_t>(clusters),
+      std::vector<double>(sketches_.dim(), 0.0));
+  for (const auto& shard : shards_) {
+    for (std::size_t id : shard.members) {
+      const int label = labels_[id];
+      if (label < 0) continue;
+      const auto row = sketches_.row(id);
+      auto& sum = sums[static_cast<std::size_t>(label)];
+      for (std::size_t d = 0; d < sum.size(); ++d) sum[d] += row[d];
+      ++counts[static_cast<std::size_t>(label)];
+    }
+  }
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t d = 0; d < centroids_[c].size(); ++d) {
+      centroids_[c][d] =
+          static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+    }
+  }
+  dirty_ops_ = 0;
+}
+
+void IncrementalClusterer::rebuild() {
+  std::fill(shard_dirty_.begin(), shard_dirty_.end(), true);
+  recompute();
+}
+
+void IncrementalClusterer::assign_interim(std::size_t id) {
+  const auto row = sketches_.row(id);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_cluster = 0;
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = stats::hellinger_from_embeddings(
+        row, std::span<const float>(centroids_[c]));
+    if (d < best) {
+      best = d;
+      best_cluster = c;
+    }
+  }
+  if (best <= config_.assign_radius) {
+    labels_[id] = static_cast<int>(best_cluster);
+    return;
+  }
+  labels_[id] = static_cast<int>(centroids_.size());
+  centroids_.emplace_back(row.begin(), row.end());
+}
+
+}  // namespace haccs::scale

@@ -1,0 +1,91 @@
+// Incremental re-clustering under client churn.
+//
+// Re-running the full pipeline on every join/leave would make churn cost
+// O(N) per event. Instead the clusterer keeps persistent shard membership
+// and per-shard clustering results:
+//
+//   * join   — the client lands in the last shard with space (or opens a
+//              new one) and gets a cheap interim label: its nearest cluster
+//              centroid in sketch space if within assign_radius, else a
+//              fresh singleton cluster.
+//   * leave / update — the client's shard is marked dirty; interim labels
+//              handle the gap.
+//
+// Every mutation counts toward a dirtiness budget. Once dirty operations
+// exceed dirty_threshold x live population, recompute_if_dirty() re-clusters
+// only the dirty shards and refreshes the cluster-of-clusters merge.
+// Because per-shard clustering is deterministic and clean shards keep
+// cached results identical to what a recompute would produce, the
+// incremental recompute equals a full rebuild() by construction — pinned by
+// the churn tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/scale/scale.hpp"
+
+namespace haccs::scale {
+
+class IncrementalClusterer {
+ public:
+  /// `exact` and `cluster` follow the cluster_sharded contract; `exact` is
+  /// keyed by the ids this class hands out (valid while the id is live —
+  /// ids of removed clients are recycled).
+  IncrementalClusterer(std::size_t sketch_dim, ExactDistanceFn exact,
+                       ClusterFn cluster, ScaleConfig config);
+
+  /// Admits a client; returns its stable id. Ids index labels() and are
+  /// reused after remove_client.
+  std::size_t add_client(std::span<const float> sketch);
+  void remove_client(std::size_t id);
+  void update_client(std::size_t id, std::span<const float> sketch);
+
+  /// Re-clusters dirty shards and re-merges iff the dirtiness budget is
+  /// exceeded. Returns whether a recompute happened.
+  bool recompute_if_dirty();
+  /// Unconditionally re-clusters dirty shards and re-merges.
+  void recompute();
+  /// Marks every shard dirty and recomputes — the from-scratch answer the
+  /// incremental path must match.
+  void rebuild();
+
+  /// Global label of a live client (-1 = noise). Removed ids answer -1.
+  int label_of(std::size_t id) const;
+  /// Labels indexed by id; dead ids hold -1.
+  std::vector<int> labels() const { return labels_; }
+
+  std::size_t size() const { return live_; }
+  std::size_t cluster_count() const { return centroids_.size(); }
+  double dirty_fraction() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  bool alive(std::size_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+  const SketchMatrix& sketches() const { return sketches_; }
+  /// Accumulated work accounting across all recomputes.
+  const ScaleStats& stats() const { return stats_; }
+
+ private:
+  void assign_interim(std::size_t id);
+
+  ExactDistanceFn exact_;
+  ClusterFn cluster_;
+  ScaleConfig config_;
+  SketchMatrix sketches_;
+
+  std::vector<std::size_t> free_;      ///< recycled row ids
+  std::vector<bool> alive_;
+  std::vector<std::size_t> shard_of_;  ///< id → shard index
+  std::vector<ShardClustering> shards_;
+  std::vector<bool> shard_dirty_;
+  std::vector<int> labels_;            ///< id → global label (-1 noise/dead)
+  std::vector<std::vector<float>> centroids_;  ///< global cluster → centroid
+
+  std::size_t live_ = 0;
+  std::size_t dirty_ops_ = 0;
+  ScaleStats stats_;
+};
+
+}  // namespace haccs::scale

@@ -1,0 +1,139 @@
+// Million-client selection pipeline: sketch → ANN-prune → shard → merge.
+//
+// The exact HACCS server computes all N² pairwise Hellinger distances and
+// clusters them in one piece — fine at thousands of clients, hopeless at a
+// million. This layer keeps the same clustering semantics while bounding
+// every super-linear cost:
+//
+//   1. Clients are represented by fixed-width sketch embeddings
+//      (stats/sketch.hpp): √-probability vectors, signed-hash-projected when
+//      the native dimension exceeds the budget. Sketch-space L2 / √2 is a
+//      bounded-error Hellinger estimate, exact in the unprojected case.
+//   2. Within a shard too large for a dense matrix, LSH over the sketch
+//      space proposes candidate pairs; only candidates get an *exact*
+//      Hellinger evaluation. The result is a SparseNeighborGraph that
+//      OPTICS/DBSCAN consume through the NeighborIndex seam, with the
+//      sketch estimate answering distance() for pruned pairs.
+//   3. Clients are clustered in shards of `shard_size` (parallel, O(shard²)
+//      memory each), then shard-clusters are merged by clustering their
+//      sketch centroids — recursively through the same machinery if even
+//      the representative set is too large.
+//
+// Layering: scale depends on clustering + stats only. It never sees client
+// summaries or HaccsConfig — the caller supplies an exact-distance callback
+// over global row ids and a clustering callback over a NeighborIndex, so
+// core/pipeline owns all policy (which algorithm, which eps) and scale owns
+// only the orchestration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/clustering/neighbor_index.hpp"
+#include "src/scale/scale_config.hpp"
+
+namespace haccs::scale {
+
+/// Flat row-major matrix of sketch embeddings, one fixed-width row per
+/// client. Row ids are the global client indices used throughout this layer.
+class SketchMatrix {
+ public:
+  explicit SketchMatrix(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t rows() const { return data_.size() / dim_; }
+  std::span<const float> row(std::size_t i) const {
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  /// Appends a row (must have exactly dim() entries); returns its row id.
+  std::size_t append(std::span<const float> values);
+  /// Overwrites row `i` in place.
+  void assign_row(std::size_t i, std::span<const float> values);
+  void reserve(std::size_t rows) { data_.reserve(rows * dim_); }
+
+ private:
+  std::size_t dim_;
+  std::vector<float> data_;
+};
+
+/// Sketch-space Hellinger estimate between two rows.
+double sketch_distance(const SketchMatrix& sketches, std::size_t i,
+                       std::size_t j);
+
+/// Exact distance between two clients, keyed by global row id. Supplied by
+/// the caller (core computes Hellinger over the full summaries).
+using ExactDistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Density clustering over a neighbor index → labels (noise = -1). Supplied
+/// by the caller so scale stays policy-free (core wraps OPTICS/DBSCAN with
+/// its configured parameters).
+using ClusterFn =
+    std::function<std::vector<int>(const clustering::NeighborIndex&)>;
+
+/// Work accounting for one pipeline invocation (also exported as process
+/// counters scale_candidate_pairs_total / scale_exact_distances_total).
+struct ScaleStats {
+  std::size_t candidate_pairs = 0;   ///< pairs proposed by LSH
+  std::size_t exact_distances = 0;   ///< exact Hellinger evaluations
+  std::size_t shards = 0;            ///< shards clustered
+  std::size_t merge_inputs = 0;      ///< shard-cluster representatives merged
+
+  void accumulate(const ScaleStats& other);
+};
+
+/// LSH candidate graph over `members` (local node ids are positions in
+/// `members`; global ids index `sketches` and `exact`). Candidate pairs get
+/// exact distances as graph edges; the graph's estimator answers pruned
+/// pairs with the sketch estimate.
+clustering::SparseNeighborGraph build_candidate_graph(
+    const SketchMatrix& sketches, std::span<const std::size_t> members,
+    const ExactDistanceFn& exact, const ScaleConfig& config,
+    ScaleStats* stats = nullptr);
+
+/// Clusters one shard: a dense exact matrix at or below
+/// config.exact_cutoff members, the ANN candidate graph above it. Returns
+/// local labels aligned with `members` (noise = -1).
+std::vector<int> cluster_shard(const SketchMatrix& sketches,
+                               std::span<const std::size_t> members,
+                               const ExactDistanceFn& exact,
+                               const ClusterFn& cluster,
+                               const ScaleConfig& config,
+                               ScaleStats* stats = nullptr);
+
+/// One shard's membership and its local clustering.
+struct ShardClustering {
+  std::vector<std::size_t> members;  ///< global row ids
+  std::vector<int> labels;           ///< aligned with members; noise = -1
+};
+
+/// Cluster-of-clusters merge: each (shard, local cluster) is represented by
+/// its sketch centroid; representatives are clustered (recursively through
+/// cluster_sharded if there are more than config.shard_size of them) and
+/// members inherit their representative's merged label. A single non-empty
+/// shard is an identity merge. Shard-local noise stays global noise; a
+/// representative the merge marks noise keeps its own global cluster (a
+/// shard cluster is real evidence of density — an unmergeable one should
+/// not demote its members).
+///
+/// Returns global labels indexed by row id (size sketches.rows()); rows not
+/// in any shard get -1.
+std::vector<int> merge_shards(const SketchMatrix& sketches,
+                              std::span<const ShardClustering> shards,
+                              const ClusterFn& cluster,
+                              const ScaleConfig& config,
+                              ScaleStats* stats = nullptr);
+
+/// The full batch pipeline: chunk rows into contiguous shards of
+/// config.shard_size, cluster each in parallel, merge. Equivalent to the
+/// exact path when one shard covers everything and fits the exact cutoff
+/// (pinned by the differential oracle in src/testing).
+std::vector<int> cluster_sharded(const SketchMatrix& sketches,
+                                 const ExactDistanceFn& exact,
+                                 const ClusterFn& cluster,
+                                 const ScaleConfig& config,
+                                 ScaleStats* stats = nullptr);
+
+}  // namespace haccs::scale

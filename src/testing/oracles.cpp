@@ -201,6 +201,68 @@ void check_cluster_permutation_invariance(
   }
 }
 
+/// Scale-vs-exact differential (DESIGN.md §5h). With one shard covering
+/// every client and a dense exact cutoff, the scale pipeline routes the
+/// very same exact distances through the NeighborIndex seam and the
+/// identity merge — its labels must be *identical* to the legacy dense
+/// path, for every summary kind, extraction, and DP setting the fuzzer
+/// generates. A genuinely sharded run may legitimately differ on arbitrary
+/// fuzz data (the merge clusters centroids, not members), so multi-shard
+/// output is checked for well-formedness and determinism instead.
+void check_scale_differential(
+    const std::vector<core::ClientSummary>& summaries,
+    const core::HaccsConfig& haccs, Reporter& out) {
+  const std::size_t n = summaries.size();
+  const auto exact_labels = core::cluster_distances(
+      core::summary_distances(summaries, haccs.response_distance), haccs);
+
+  core::HaccsConfig scaled = haccs;
+  scaled.scale.enabled = true;
+  scaled.scale.shard_size = n + 1;    // single shard: identity merge
+  scaled.scale.exact_cutoff = n + 1;  // dense exact distances
+  const auto single = core::cluster_summaries_scaled(summaries, scaled);
+  if (single != exact_labels) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (single[i] != exact_labels[i]) {
+        out.fail("diff_scale",
+                 "single-shard scale labels diverge from the exact path at "
+                 "client " + std::to_string(i) + ": " +
+                     std::to_string(single[i]) + " vs " +
+                     std::to_string(exact_labels[i]));
+        break;
+      }
+    }
+    return;
+  }
+
+  // Sharded + ANN-pruned run: labels must be well-formed and the pipeline
+  // deterministic (same input, same output — shard parallelism must not
+  // leak scheduling order into the result).
+  scaled.scale.shard_size = std::max<std::size_t>(2, n / 3);
+  scaled.scale.exact_cutoff = std::max<std::size_t>(2, n / 6);
+  const auto sharded = core::cluster_summaries_scaled(summaries, scaled);
+  if (sharded.size() != n) {
+    out.fail("diff_scale", "sharded label arity " +
+                               std::to_string(sharded.size()) + " != " +
+                               std::to_string(n));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sharded[i] < -1 || sharded[i] >= static_cast<int>(n)) {
+      out.fail("diff_scale", "sharded label out of range on client " +
+                                 std::to_string(i) + ": " +
+                                 std::to_string(sharded[i]));
+      return;
+    }
+  }
+  const auto replay = core::cluster_summaries_scaled(summaries, scaled);
+  if (replay != sharded) {
+    out.fail("diff_scale",
+             "sharded clustering is nondeterministic: two runs on identical "
+             "input disagree");
+  }
+}
+
 void check_dp_nonnegative(const std::vector<core::ClientSummary>& summaries,
                           Reporter& out) {
   for (std::size_t i = 0; i < summaries.size(); ++i) {
@@ -718,6 +780,7 @@ std::vector<Violation> check_scenario(const ScenarioSpec& spec,
     check_distance_invariants(summaries, spec, out);
     check_dp_nonnegative(summaries, out);
     check_cluster_permutation_invariance(summaries, haccs, spec, out);
+    check_scale_differential(summaries, haccs, out);
   });
 
   guarded(out, "selector", [&] {

@@ -5,7 +5,8 @@
 # client-rounds) is the tracked e2e baseline.
 #
 # Usage: tools/bench.sh [output.json] [--filter=REGEX] [--skip-e2e]
-#        [--e2e-only] [--skip-net] [--net-only]
+#        [--e2e-only] [--skip-net] [--net-only] [--skip-scale]
+#        [--scale-only] [--check]
 #
 #   output.json   where to write the google-benchmark JSON
 #                 (default: BENCH_kernels.json at the repo root — the
@@ -20,6 +21,16 @@
 #   --net-only    wire-protocol benchmarks only (writes BENCH_net.json —
 #                 CRC32 throughput plus ClientUpdate encode/decode for each
 #                 compression kind; regenerate when src/net codecs change)
+#   --skip-scale  skip the scale-pipeline benchmarks
+#   --scale-only  scale-pipeline benchmarks only (writes BENCH_scale.json —
+#                 sharded clustering + incremental re-cluster at 10k / 100k /
+#                 1M clients; regenerate when src/scale changes)
+#   --check       regression-gate mode: run to temp files and compare each
+#                 google-benchmark suite against its committed BENCH_*.json
+#                 via tools/bench_check.py instead of overwriting baselines.
+#                 Noise threshold: HACCS_BENCH_TOLERANCE (default 0.6 = fail
+#                 above 1.6x baseline). The e2e summary has its own schema
+#                 and is not gated.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,40 +42,85 @@ net_filter='BM_Crc32|BM_EncodeUpdate|BM_DecodeUpdate'
 run_micro=1
 run_e2e=1
 run_net=1
+run_scale=1
+check=0
 for arg in "$@"; do
   case "$arg" in
     --filter=*) filter="${arg#--filter=}" ;;
     --skip-e2e) run_e2e=0 ;;
-    --e2e-only) run_micro=0; run_net=0 ;;
+    --e2e-only) run_micro=0; run_net=0; run_scale=0 ;;
     --skip-net) run_net=0 ;;
-    --net-only) run_micro=0; run_e2e=0 ;;
+    --net-only) run_micro=0; run_e2e=0; run_scale=0 ;;
+    --skip-scale) run_scale=0 ;;
+    --scale-only) run_micro=0; run_e2e=0; run_net=0 ;;
+    --check) check=1 ;;
     *) out="$arg" ;;
   esac
 done
+
+# In check mode, benchmark output goes to a scratch dir and each suite is
+# compared against its committed baseline instead of replacing it.
+checkdir=""
+if [[ "$check" -eq 1 ]]; then
+  checkdir="$(mktemp -d)"
+  trap 'rm -rf "$checkdir"' EXIT
+fi
+
+# check_or_keep SUITE_NAME BASELINE CURRENT: in check mode, gate CURRENT
+# against BASELINE; otherwise CURRENT already is the baseline path.
+check_or_keep() {
+  if [[ "$check" -eq 1 ]]; then
+    echo "checking $1 against $2"
+    python3 "$repo/tools/bench_check.py" "$2" "$3"
+  else
+    echo "wrote $3"
+  fi
+}
 
 cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 if [[ "$run_micro" -eq 1 ]]; then
   cmake --build "$repo/build" -j "$jobs" --target micro
 
+  micro_out="$out"
+  [[ "$check" -eq 1 ]] && micro_out="$checkdir/kernels.json"
   "$repo/build/bench/micro" \
     --benchmark_filter="$filter" \
-    --benchmark_out="$out" \
+    --benchmark_out="$micro_out" \
     --benchmark_out_format=json \
     --benchmark_repetitions=1
 
-  echo "wrote $out"
+  check_or_keep kernels "$out" "$micro_out"
 fi
 
 if [[ "$run_net" -eq 1 ]]; then
   cmake --build "$repo/build" -j "$jobs" --target micro
 
+  net_out="$repo/BENCH_net.json"
+  [[ "$check" -eq 1 ]] && net_out="$checkdir/net.json"
   "$repo/build/bench/micro" \
     --benchmark_filter="$net_filter" \
-    --benchmark_out="$repo/BENCH_net.json" \
+    --benchmark_out="$net_out" \
     --benchmark_out_format=json \
     --benchmark_repetitions=1
 
-  echo "wrote $repo/BENCH_net.json"
+  check_or_keep net "$repo/BENCH_net.json" "$net_out"
+fi
+
+if [[ "$run_scale" -eq 1 ]]; then
+  # Scale-pipeline suite (DESIGN.md §5h): full sharded clustering and the
+  # incremental re-cluster cycle at 10k / 100k / 1M synthetic clients. The
+  # committed BENCH_scale.json pins the headline criterion — a 100k-client
+  # incremental re-selection cycle under one second.
+  cmake --build "$repo/build" -j "$jobs" --target scale_bench
+
+  scale_out="$repo/BENCH_scale.json"
+  [[ "$check" -eq 1 ]] && scale_out="$checkdir/scale.json"
+  "$repo/build/bench/scale_bench" \
+    --benchmark_out="$scale_out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+
+  check_or_keep scale "$repo/BENCH_scale.json" "$scale_out"
 fi
 
 if [[ "$run_e2e" -eq 1 ]]; then

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a committed baseline.
+
+Usage: bench_check.py BASELINE.json CURRENT.json [--tolerance FRACTION]
+
+Every benchmark present in the baseline must exist in the current run and
+its real_time must not exceed baseline * (1 + tolerance). The tolerance is
+deliberately generous (default 0.6, overridable via --tolerance or the
+HACCS_BENCH_TOLERANCE environment variable): the gate exists to catch gross
+regressions — an accidental O(N^2) reintroduction, a dropped cache — not
+single-digit-percent noise, which shared CI runners cannot resolve.
+
+Benchmarks only present in the current run (newly added) are reported but
+never fail the check; commit the regenerated baseline alongside the change
+that added them.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("HACCS_BENCH_TOLERANCE", "0.6")),
+        help="allowed slowdown as a fraction of baseline (default 0.6, "
+        "i.e. fail above 1.6x; env HACCS_BENCH_TOLERANCE overrides)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"bench_check: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base_time in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_time = current[name]
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {cur_time:.0f} vs baseline {base_time:.0f} "
+                f"({ratio:.2f}x > {1.0 + args.tolerance:.2f}x allowed)")
+        print(f"  {name}: {ratio:.2f}x baseline [{verdict}]")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: new benchmark (not in baseline; not gated)")
+
+    if failures:
+        print(f"bench_check: {len(failures)} failure(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_check: {len(baseline)} benchmark(s) within "
+          f"{1.0 + args.tolerance:.2f}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,14 @@ void print_usage() {
       "  --epsilon=E     DP budget for summaries (default: no noise)\n"
       "  --dropout=F     per-epoch unavailable fraction (default 0)\n"
       "  --recluster=N   re-cluster every N epochs (default 0 = static)\n"
+      "scaling (DESIGN.md §5h):\n"
+      "  --scale         route clustering through the sketch/shard pipeline\n"
+      "  --scale-shard=N          max clients per clustering shard (default 1024)\n"
+      "  --scale-sketch-dim=N     sketch embedding width (default 32)\n"
+      "  --scale-exact-cutoff=N   dense exact matrix at/below this shard size\n"
+      "                           (default 256)\n"
+      "  --scale-dirty=F          churn fraction triggering incremental\n"
+      "                           re-cluster (default 0.05)\n"
       "  --fedprox       use the FedProx local objective\n"
       "  --mu=M          FedProx proximal coefficient (default 0.01)\n"
       "  --targets=CSV   accuracy targets, e.g. 0.5,0.7,0.8\n"
@@ -97,6 +105,14 @@ int main(int argc, char** argv) {
   const double dropout_fraction = flags.get_double("dropout", 0.0);
   const auto recluster =
       static_cast<std::size_t>(flags.get_int("recluster", 0));
+  const bool scale_enabled = flags.get_bool("scale", false);
+  const auto scale_shard =
+      static_cast<std::size_t>(flags.get_int("scale-shard", 1024));
+  const auto scale_sketch_dim =
+      static_cast<std::size_t>(flags.get_int("scale-sketch-dim", 32));
+  const auto scale_exact_cutoff =
+      static_cast<std::size_t>(flags.get_int("scale-exact-cutoff", 256));
+  const double scale_dirty = flags.get_double("scale-dirty", 0.05);
   const bool fedprox = flags.get_bool("fedprox", false);
   const double mu = flags.get_double("mu", 0.01);
   const auto targets = parse_targets(flags.get_string("targets", "0.5,0.7,0.8"));
@@ -141,6 +157,11 @@ int main(int argc, char** argv) {
   haccs.rho = rho;
   haccs.recluster_every = recluster;
   haccs.initial_loss = engine_config.initial_loss;
+  haccs.scale.enabled = scale_enabled;
+  haccs.scale.shard_size = scale_shard;
+  haccs.scale.sketch_dim = scale_sketch_dim;
+  haccs.scale.exact_cutoff = scale_exact_cutoff;
+  haccs.scale.dirty_threshold = scale_dirty;
   if (epsilon > 0.0) {
     haccs.privacy = stats::PrivacyConfig{epsilon};
     if (mechanism == "gaussian") {
@@ -287,6 +308,18 @@ int main(int argc, char** argv) {
         .field("checkpoints_written",
                obs::Registry::global()
                    .counter("checkpoints_written_total")
+                   .value())
+        .field("scale_candidate_pairs",
+               obs::Registry::global()
+                   .counter("scale_candidate_pairs_total")
+                   .value())
+        .field("scale_exact_distances",
+               obs::Registry::global()
+                   .counter("scale_exact_distances_total")
+                   .value())
+        .field("scale_incremental_reclusters",
+               obs::Registry::global()
+                   .counter("scale_incremental_reclusters_total")
                    .value())
         .field_raw("tta_s", tta.str());
     std::FILE* f = std::fopen(summary_json.c_str(), "w");
