@@ -30,6 +30,7 @@
 //       --rounds=5 --clients=12 --per-round=4 --summary-json=/tmp/s.json
 //   ./haccs_worker --worker-id=0 --workers=2 --port-file=/tmp/port ... &
 //   ./haccs_worker --worker-id=1 --workers=2 --port-file=/tmp/port ... &
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -44,10 +45,15 @@
 #include "src/core/pipeline.hpp"
 #include "src/fl/checkpoint.hpp"
 #include "src/fl/net_driver.hpp"
+#include "src/fl/run_summary.hpp"
 #include "src/net/chaos.hpp"
+#include "src/net/status.hpp"
 #include "src/net/tcp.hpp"
+#include "src/net/wire.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/stats/summary_codec.hpp"
 
@@ -79,7 +85,14 @@ void print_usage() {
       "  --chaos-disconnect\n"
       "workload (must match the workers'): --dataset --clients --per-round\n"
       "  --rounds --classes --seed --full --noise-scale\n"
-      "telemetry: --trace --metrics --events --log-level");
+      "ops plane (DESIGN.md §5i):\n"
+      "  --status-port=P      serve /metrics, /status, /healthz on\n"
+      "                       127.0.0.1:P; 0 = ephemeral (default: off)\n"
+      "  --status-port-file=F write the resolved status port to F\n"
+      "  --flight-dir=D       crash flight recorder: dump flight-<ts>.json\n"
+      "                       into D on SIGSEGV/SIGABRT/drain\n"
+      "telemetry: --trace --metrics --events --log-level\n"
+      "  (--trace merges worker span shards into one Chrome trace)");
 }
 
 /// The worker fleet: initial accept, per-session chaos wrapping, and
@@ -278,6 +291,14 @@ int main(int argc, char** argv) try {
   const int quorum_grace_ms =
       static_cast<int>(flags.get_int("quorum-grace-ms", 0));
   const double overcommit = flags.get_double("overcommit", 0.0);
+  const int status_port = static_cast<int>(flags.get_int("status-port", -1));
+  const std::string status_port_file =
+      flags.get_string("status-port-file", "");
+  const std::string flight_dir = flags.get_string("flight-dir", "");
+  // apply_flags already consumed --trace to configure the pillar; the path
+  // is re-read here because the merged multi-process trace overwrites the
+  // plain single-process flush at exit.
+  const std::string trace_path = flags.get_string("trace", "");
   const net::ChaosOptions chaos = examples::parse_chaos_flags(flags);
   flags.check_unused();
   if (num_workers == 0) {
@@ -291,6 +312,14 @@ int main(int argc, char** argv) try {
 
   std::signal(SIGTERM, handle_stop_signal);
   std::signal(SIGINT, handle_stop_signal);
+
+  // ---- crash flight recorder (§5i) ----
+  if (!flight_dir.empty()) {
+    obs::FlightRecorder::global().enable(flight_dir);
+    obs::FlightRecorder::global().install_crash_handlers();
+    std::fprintf(stderr, "flight recorder armed: %s\n",
+                 obs::FlightRecorder::global().path().c_str());
+  }
 
   // Both processes rebuild the identical federation from the same flags;
   // only parameters, updates, and summaries cross the wire.
@@ -322,6 +351,7 @@ int main(int argc, char** argv) try {
   if (!fleet.accept_all(accept_timeout_ms)) return 1;
 
   // ---- strategy ----
+  std::size_t num_clusters = 0;  ///< reported on /status (0 = unclustered)
   core::HaccsConfig haccs;
   haccs.rho = rho;
   haccs.initial_loss = engine_config.initial_loss;
@@ -341,7 +371,11 @@ int main(int argc, char** argv) try {
     // flags, since the f64 tables round-trip bit-exactly).
     const auto labels = core::cluster_distances(
         core::summary_distances(fleet.summaries()), haccs);
-    selector = std::make_unique<core::HaccsSelector>(labels, haccs);
+    auto haccs_selector = std::make_unique<core::HaccsSelector>(labels, haccs);
+    // The selector's effective count (DBSCAN noise remapped to singleton
+    // clusters), which is what scheduling actually operates on.
+    num_clusters = haccs_selector->num_clusters();
+    selector = std::move(haccs_selector);
   } else {
     std::fprintf(stderr, "unknown strategy '%s' (random|haccs-py)\n",
                  strategy.c_str());
@@ -368,6 +402,64 @@ int main(int argc, char** argv) try {
       return fleet.reacquire(w);
     };
   }
+
+  // ---- ops plane: trace-shard collection + live status (§5i) ----
+  // Shards arrive on the dispatcher's collection path during rounds and on
+  // the post-Shutdown drain below — both on this thread, so no lock.
+  std::vector<obs::WorkerTrack> worker_tracks;
+  auto collect_shard = [&worker_tracks](net::TraceShardMsg&& shard) {
+    obs::WorkerTrack track;
+    track.worker_id = shard.worker_id;
+    track.label = "worker-" + std::to_string(shard.worker_id);
+    // Upper-bound clock alignment: server-now at receipt minus the worker's
+    // clock at send (both ns since their own process start).
+    track.clock_offset_ns = static_cast<std::int64_t>(obs::now_ns()) -
+                            static_cast<std::int64_t>(shard.send_ns);
+    track.events = std::move(shard.events);
+    worker_tracks.push_back(std::move(track));
+  };
+  if (obs::trace_enabled()) dispatch_config.on_trace_shard = collect_shard;
+
+  fl::ServingStatusBoard status_board(num_workers);
+  std::optional<net::StatusServer> status_server;
+  if (status_port >= 0) {
+    dispatch_config.status_board = &status_board;
+    const auto started = std::chrono::steady_clock::now();
+    net::StatusEndpoints endpoints;
+    endpoints.metrics_text = [] {
+      return obs::Registry::global().to_prometheus();
+    };
+    endpoints.status_json = [&status_board, num_clusters, started] {
+      const double uptime_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      const auto& wire = net::NetMetrics::get();
+      const std::uint64_t sent = wire.bytes_sent.value();
+      const std::uint64_t received = wire.bytes_received.value();
+      obs::JsonObject o;
+      o.field("uptime_s", uptime_s)
+          .field("clusters", num_clusters)
+          .field("net_bytes_sent", sent)
+          .field("net_bytes_received", received)
+          .field("downlink_rate_bps",
+                 uptime_s > 0 ? static_cast<double>(sent) / uptime_s : 0.0)
+          .field("uplink_rate_bps",
+                 uptime_s > 0 ? static_cast<double>(received) / uptime_s
+                              : 0.0)
+          .field_raw("serving", status_board.to_json());
+      return o.str();
+    };
+    status_server.emplace(static_cast<std::uint16_t>(status_port),
+                          std::move(endpoints));
+    if (!status_port_file.empty()) {
+      examples::write_port_file(status_port_file, status_server->port());
+    }
+    std::fprintf(stderr, "status endpoint on 127.0.0.1:%u "
+                 "(/metrics /status /healthz)\n",
+                 status_server->port());
+  }
+
   std::vector<net::Transport*> worker_ptrs;
   worker_ptrs.reserve(fleet.slots().size());
   for (const auto& t : fleet.slots()) worker_ptrs.push_back(t.get());
@@ -410,6 +502,8 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr,
                  "stop signal received: drained after round %zu of %zu\n",
                  history.records().size(), engine_config.rounds);
+    // A drain is the orderly half of a crash — persist the same evidence.
+    obs::FlightRecorder::global().dump("sigterm-drain");
   }
   // ---- wind down the fleet ----
   net::EvalReportMsg report;
@@ -418,10 +512,42 @@ int main(int argc, char** argv) try {
   report.loss = history.records().empty()
                     ? 0.0
                     : history.records().back().global_loss;
+  if (obs::trace_enabled()) {
+    // A valid context on the EvalReport tells each worker to ship its
+    // final-round span shard before the Shutdown lands.
+    report.trace.trace_id = obs::process_trace_id();
+    report.trace.round = static_cast<std::int64_t>(history.records().size());
+  }
   for (const auto& t : fleet.slots()) {
     if (!t) continue;
     t->send(net::encode_eval_report(report), io_timeout_ms);
     t->send(net::encode_shutdown(), io_timeout_ms);
+  }
+  if (obs::trace_enabled()) {
+    // Drain the final TraceShard each worker ships in response to the
+    // traced EvalReport; late heartbeats are skipped, anything else ends
+    // that worker's drain.
+    for (const auto& t : fleet.slots()) {
+      if (!t) continue;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(3000);
+      while (std::chrono::steady_clock::now() < deadline) {
+        net::Frame frame;
+        const auto status = t->recv(&frame, 250);
+        if (status == net::TransportStatus::Closed) break;
+        if (status != net::TransportStatus::Ok) continue;
+        if (frame.type == net::MessageType::TraceShard) {
+          try {
+            collect_shard(net::decode_trace_shard(frame));
+          } catch (const net::WireError& e) {
+            std::fprintf(stderr, "discarding bad trace shard: %s\n",
+                         e.what());
+          }
+          break;
+        }
+        if (frame.type != net::MessageType::Heartbeat) break;
+      }
+    }
   }
 
   // ---- report ----
@@ -468,32 +594,33 @@ int main(int argc, char** argv) try {
         .field("drained", drained)
         .field("clients", fed.num_clients())
         .field("per_round", engine_config.clients_per_round)
-        .field("seed", exp.seed)
-        .field("final_accuracy", history.final_accuracy())
-        .field("best_accuracy", history.best_accuracy())
-        .field("total_sim_time_s", history.total_time())
-        .field("uplink_bytes", history.total_uplink_bytes())
-        .field("downlink_bytes", history.total_downlink_bytes())
-        .field("net_bytes_sent", wire.bytes_sent.value())
+        .field("seed", exp.seed);
+    fl::append_summary_history(o, history);
+    o.field("net_bytes_sent", wire.bytes_sent.value())
         .field("net_bytes_received", wire.bytes_received.value())
-        .field("net_frames_corrupt", wire.frames_corrupt.value())
-        .field("net_reconnects", counter_value("net_reconnects_total"))
-        .field("heartbeats_missed", counter_value("heartbeats_missed_total"))
-        .field("rounds_quorum_degraded",
-               counter_value("rounds_quorum_degraded_total"))
-        .field("checkpoints_written",
-               counter_value("checkpoints_written_total"));
-    std::FILE* f = std::fopen(summary_json.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", summary_json.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%s\n", o.str().c_str());
-    std::fclose(f);
-    std::fprintf(stderr, "wrote run summary to %s\n", summary_json.c_str());
+        .field("net_frames_corrupt", wire.frames_corrupt.value());
+    fl::append_summary_counters(o);
+    if (!fl::write_summary_json(o, summary_json)) return 1;
   }
 
   obs::flush();
+  if (obs::trace_enabled() && !trace_path.empty()) {
+    // Overwrite the single-process trace flush() just wrote with the merged
+    // multi-process view: server spans on pid 1, one Chrome "process" per
+    // worker shard, parent/child stitched via span ids.
+    const std::string merged = obs::merged_chrome_json(
+        obs::TraceBuffer::global().snapshot(), worker_tracks);
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f) {
+      std::fprintf(f, "%s", merged.c_str());
+      std::fclose(f);
+      std::fprintf(stderr, "wrote merged trace (%zu worker shard(s)) to %s\n",
+                   worker_tracks.size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    }
+  }
+  if (status_server) status_server->stop();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "haccs_server: %s\n", e.what());

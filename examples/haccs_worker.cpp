@@ -23,17 +23,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <thread>
 
 #include "bench/harness.hpp"
 #include "examples/multiprocess_common.hpp"
+#include "src/common/logging.hpp"
 #include "src/fl/net_driver.hpp"
 #include "src/net/chaos.hpp"
 #include "src/net/tcp.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/stats/summary_codec.hpp"
 
 namespace {
@@ -62,7 +65,8 @@ void print_usage() {
       "  --chaos-disconnect\n"
       "workload (must match the server's): --dataset --clients --per-round\n"
       "  --rounds --classes --seed --full --noise-scale\n"
-      "telemetry: --trace --metrics --events --log-level\n"
+      "telemetry: --trace --metrics --events --log-level (HACCS_LOG env is\n"
+      "  honored when --log-level is absent)\n"
       "exit codes: 0 shutdown, 1 error, 3 connect exhausted, 4 idle timeout");
 }
 
@@ -96,6 +100,14 @@ int main(int argc, char** argv) try {
 
   bench::ExperimentConfig exp;
   exp.apply_flags(flags);
+  // Fleet launchers set one HACCS_LOG for every worker; an explicit
+  // --log-level still wins (apply_flags already consumed it above).
+  if (!flags.has("log-level")) {
+    const char* env_level = std::getenv("HACCS_LOG");
+    if (env_level != nullptr && env_level[0] != '\0') {
+      set_log_level(parse_log_level(env_level));
+    }
+  }
   const std::string host = flags.get_string("host", "127.0.0.1");
   auto port = static_cast<std::uint16_t>(flags.get_int("port", 4242));
   const std::string port_file = flags.get_string("port-file", "");
@@ -117,6 +129,10 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "--worker-id must lie in [0, --workers)\n");
     return 1;
   }
+  // Span ids minted here must stay distinct from the server's and every
+  // other worker's when shards are merged into one trace (§5i): salt the
+  // high bits with the worker id.
+  obs::set_span_id_salt(static_cast<std::uint64_t>(worker_id + 1) << 40);
 
   const data::FederatedDataset fed = examples::build_federation(exp);
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/obs.hpp"
 
 namespace haccs {
@@ -62,9 +63,19 @@ void log_line(LogLevel level, const std::string& message) {
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
                 utc.tm_min, utc.tm_sec, static_cast<int>(ms));
-  std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "%s [%s] [t%02u] %s\n", stamp, level_tag(level),
-               obs::thread_id(), message.c_str());
+  {
+    std::lock_guard lock(g_io_mutex);
+    std::fprintf(stderr, "%s [%s] [t%02u] %s\n", stamp, level_tag(level),
+                 obs::thread_id(), message.c_str());
+  }
+  // Mirror formatted lines into the flight recorder's ring so crash dumps
+  // carry the log tail. One relaxed atomic when the recorder is disarmed.
+  if (obs::FlightRecorder::global().enabled()) {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "%s [%s] [t%02u] ", stamp,
+                  level_tag(level), obs::thread_id());
+    obs::FlightRecorder::global().record_log_line(prefix + message);
+  }
 }
 }  // namespace detail
 

@@ -10,6 +10,7 @@
 #include "src/common/logging.hpp"
 #include "src/fl/protocol.hpp"
 #include "src/obs/events.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/trace.hpp"
@@ -270,6 +271,13 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
       break;
     }
     obs::Span round_span("round", "fl");
+    // Publish this round's context (§5i) so the transport dispatcher can
+    // stamp outgoing TrainJobs and workers can parent their local_train
+    // spans under this round span across the process boundary.
+    if (obs::trace_enabled()) {
+      obs::set_round_context({obs::process_trace_id(), round_span.id(),
+                              static_cast<std::int64_t>(epoch)});
+    }
     obs::StopWatch phase_clock;   // lap per phase -> RoundRecord::phase
     obs::StopWatch round_clock;   // whole-round wall time
     PhaseTimings phase;
@@ -528,14 +536,19 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
     record.phase = phase;
     metrics.rounds.inc();
     metrics.round_ms.observe(round_clock.lap_ms());
-    if (obs::events_enabled()) {
-      obs::RunEventLog::global().emit(round_event_json("sync", record));
+    if (obs::events_enabled() || obs::FlightRecorder::global().enabled()) {
+      // One render feeds both sinks; either probe alone still costs one
+      // relaxed atomic on the flags-off path.
+      const std::string event = round_event_json("sync", record);
+      if (obs::events_enabled()) obs::RunEventLog::global().emit(event);
+      obs::FlightRecorder::global().record_round_event(event);
     }
     history.add(std::move(record));
     if (config_.on_checkpoint) {
       config_.on_checkpoint(epoch + 1, [&] { return make_run_state(epoch + 1); });
     }
   }
+  obs::clear_round_context();
   final_parameters_ = std::move(global_params);
   return history;
 }

@@ -10,7 +10,9 @@
 #include "src/common/logging.hpp"
 #include "src/fl/protocol.hpp"
 #include "src/net/wire.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
 
 namespace haccs::fl {
 
@@ -42,6 +44,35 @@ std::int64_t steady_ms() {
 
 }  // namespace
 
+std::string ServingStatusBoard::to_json() const {
+  const std::int64_t now = steady_ms();
+  std::string out = "{\"round\":" + std::to_string(round.load());
+  out += ",\"collecting\":";
+  out += collecting.load() ? "true" : "false";
+  out += ",\"dispatched\":" + std::to_string(dispatched.load());
+  out += ",\"delivered\":" + std::to_string(delivered.load());
+  out += ",\"quorum_target\":" + std::to_string(quorum_target.load());
+  out += ",\"quorum_met\":";
+  out += quorum_met.load() ? "true" : "false";
+  out += ",\"workers\":[";
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& worker = workers_[w];
+    if (w > 0) out += ',';
+    const std::int64_t heard = worker.last_heard_ms.load();
+    out += "{\"id\":" + std::to_string(w);
+    out += ",\"alive\":";
+    out += worker.alive.load() ? "true" : "false";
+    out += ",\"outstanding\":" + std::to_string(worker.outstanding.load());
+    out += ",\"updates\":" + std::to_string(worker.updates.load());
+    out += ",\"sessions\":" + std::to_string(worker.sessions.load());
+    out += ",\"last_heard_age_ms\":" +
+           std::to_string(heard < 0 ? -1 : now - heard);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // TransportDispatcher
 
@@ -59,6 +90,21 @@ TransportDispatcher::TransportDispatcher(std::vector<net::Transport*> workers,
   dead_.assign(workers_.size(), false);
 }
 
+void TransportDispatcher::sync_board(std::size_t w) {
+  ServingStatusBoard* board = config_.status_board;
+  if (!board) return;
+  auto& worker = board->worker(w);
+  worker.outstanding.store(outstanding_[w].size(), std::memory_order_relaxed);
+  worker.alive.store(!dead_[w], std::memory_order_relaxed);
+}
+
+void TransportDispatcher::board_note_heard(std::size_t w) {
+  if (ServingStatusBoard* board = config_.status_board) {
+    board->worker(w).last_heard_ms.store(steady_ms(),
+                                         std::memory_order_relaxed);
+  }
+}
+
 void TransportDispatcher::fail_front(std::size_t w, FailureKind kind,
                                      std::vector<TrainOutcome>& outcomes) {
   auto& queue = outstanding_[w];
@@ -67,6 +113,7 @@ void TransportDispatcher::fail_front(std::size_t w, FailureKind kind,
   out.delivered = false;
   out.failure = kind;
   queue.pop_front();
+  sync_board(w);
 }
 
 void TransportDispatcher::fail_all(std::size_t w, FailureKind kind,
@@ -78,6 +125,18 @@ bool TransportDispatcher::handle_frame(std::size_t w, const net::Frame& frame,
                                        std::span<const TrainJobSpec> jobs,
                                        const std::vector<float>& global_params,
                                        std::vector<TrainOutcome>& outcomes) {
+  if (frame.type == net::MessageType::TraceShard) {
+    // A worker's span buffer riding home ahead of its next update (§5i).
+    if (config_.on_trace_shard) {
+      try {
+        config_.on_trace_shard(net::decode_trace_shard(frame));
+      } catch (const net::WireError& e) {
+        HACCS_WARN << "undecodable TraceShard from " << workers_[w]->peer()
+                   << ": " << e.what();
+      }
+    }
+    return false;
+  }
   if (frame.type != net::MessageType::ClientUpdate) {
     // Heartbeats and other control traffic are not update settlements.
     return false;
@@ -129,6 +188,11 @@ bool TransportDispatcher::handle_frame(std::size_t w, const net::Frame& frame,
   out.result.average_loss = msg.average_loss;
   out.result.final_loss = msg.final_loss;
   out.result.batches = static_cast<std::size_t>(msg.batches);
+  if (ServingStatusBoard* board = config_.status_board) {
+    board->delivered.fetch_add(1, std::memory_order_relaxed);
+    board->worker(w).updates.fetch_add(1, std::memory_order_relaxed);
+    sync_board(w);
+  }
   return true;
 }
 
@@ -136,6 +200,29 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
                                   const std::vector<float>& global_params,
                                   std::vector<TrainOutcome>& outcomes) {
   for (auto& queue : outstanding_) queue.clear();
+
+  if (ServingStatusBoard* board = config_.status_board) {
+    board->round.store(jobs.empty() ? 0 : jobs.front().epoch,
+                       std::memory_order_relaxed);
+    board->dispatched.store(jobs.size(), std::memory_order_relaxed);
+    board->delivered.store(0, std::memory_order_relaxed);
+    board->quorum_met.store(false, std::memory_order_relaxed);
+    board->quorum_target.store(
+        config_.quorum_fraction < 1.0
+            ? static_cast<std::uint64_t>(
+                  std::ceil(config_.quorum_fraction *
+                            static_cast<double>(jobs.size())))
+            : jobs.size(),
+        std::memory_order_relaxed);
+    board->collecting.store(true, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < workers_.size(); ++w) sync_board(w);
+  }
+
+  // Snapshot the engine's round context once per fan-out: every TrainJob of
+  // the round carries the same parent span. Untraced runs send the invalid
+  // context, which the codec encodes as zero extra bytes.
+  const obs::TraceContext trace_ctx =
+      obs::trace_enabled() ? obs::round_context() : obs::TraceContext{};
 
   // Serving mode: give workers that died in an earlier round a fresh
   // transport before fanning out, so a reconnected process rejoins the
@@ -147,6 +234,10 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
         workers_[w] = fresh;
         dead_[w] = false;
         ServingMetrics::get().reconnects.inc();
+        if (ServingStatusBoard* board = config_.status_board) {
+          board->worker(w).sessions.fetch_add(1, std::memory_order_relaxed);
+          sync_board(w);
+        }
         HACCS_INFO << "dispatcher: worker " << w << " reacquired ("
                    << fresh->peer() << ")";
       }
@@ -176,6 +267,7 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
     msg.topk_fraction = config_.work.compression.topk_fraction;
     msg.error_feedback = config_.work.compression.error_feedback ? 1 : 0;
     msg.params = global_params;
+    msg.trace = trace_ctx;
 
     auto status =
         workers_[w]->send(net::encode_train_job(msg), config_.send_timeout_ms);
@@ -194,6 +286,7 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
     }
     if (status == net::TransportStatus::Ok) {
       outstanding_[w].push_back(j);
+      sync_board(w);
     } else {
       if (status == net::TransportStatus::Closed) dead_[w] = true;
       TrainOutcome& out = outcomes[job.slot];
@@ -201,16 +294,19 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
       out.failure = status == net::TransportStatus::Timeout
                         ? FailureKind::Timeout
                         : FailureKind::Crash;
+      sync_board(w);
     }
     for (;;) {
       if (outstanding_[w].empty()) break;
       net::Frame ready;
       const auto rs = workers_[w]->recv(&ready, 0);
       if (rs == net::TransportStatus::Ok) {
+        board_note_heard(w);
         handle_frame(w, ready, jobs, global_params, outcomes);
         continue;
       }
       if (rs == net::TransportStatus::Corrupt) {
+        board_note_heard(w);
         fail_front(w, FailureKind::CorruptUpdate, outcomes);
         continue;
       }
@@ -223,6 +319,11 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
   } else {
     collect_serial(jobs, global_params, outcomes);
   }
+
+  if (ServingStatusBoard* board = config_.status_board) {
+    board->collecting.store(false, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < workers_.size(); ++w) sync_board(w);
+  }
 }
 
 void TransportDispatcher::collect_serial(std::span<const TrainJobSpec> jobs,
@@ -234,10 +335,12 @@ void TransportDispatcher::collect_serial(std::span<const TrainJobSpec> jobs,
       net::Frame frame;
       const auto status = workers_[w]->recv(&frame, config_.recv_timeout_ms);
       if (status == net::TransportStatus::Ok) {
+        board_note_heard(w);
         handle_frame(w, frame, jobs, global_params, outcomes);
         continue;
       }
       if (status == net::TransportStatus::Corrupt) {
+        board_note_heard(w);
         fail_front(w, FailureKind::CorruptUpdate, outcomes);
         continue;
       }
@@ -300,11 +403,15 @@ void TransportDispatcher::collect_serving(
     if (config_.quorum_fraction < 1.0 && delivered_count() >= quorum_target) {
       if (quorum_deadline < 0) {
         quorum_deadline = now + config_.quorum_grace_ms;
+        if (ServingStatusBoard* board = config_.status_board) {
+          board->quorum_met.store(true, std::memory_order_relaxed);
+        }
       }
       if (now >= quorum_deadline) {
         const std::size_t abandoned = outstanding_total();
         if (abandoned > 0) {
           metrics.quorum_degraded.inc();
+          obs::FlightRecorder::global().note_quorum_degraded();
           HACCS_INFO << "serving: quorum (" << quorum_target << "/"
                      << jobs.size() << ") reached; abandoning " << abandoned
                      << " straggler job(s)";
@@ -324,11 +431,13 @@ void TransportDispatcher::collect_serving(
       switch (status) {
         case net::TransportStatus::Ok:
           last_heard[w] = steady_ms();
+          board_note_heard(w);
           handle_frame(w, frame, jobs, global_params, outcomes);
           break;
         case net::TransportStatus::Corrupt:
           // A damaged frame is still proof of life.
           last_heard[w] = steady_ms();
+          board_note_heard(w);
           fail_front(w, FailureKind::CorruptUpdate, outcomes);
           break;
         case net::TransportStatus::Closed:
@@ -336,6 +445,7 @@ void TransportDispatcher::collect_serving(
                      << outstanding_[w].size() << " job(s) abandoned";
           fail_all(w, FailureKind::Crash, outcomes);
           dead_[w] = true;
+          sync_board(w);
           break;
         case net::TransportStatus::Timeout:
           if (config_.heartbeat_timeout_ms > 0 &&
@@ -347,6 +457,7 @@ void TransportDispatcher::collect_serving(
                        << outstanding_[w].size() << " job(s) abandoned";
             fail_all(w, FailureKind::Crash, outcomes);
             dead_[w] = true;
+            sync_board(w);
           }
           break;
       }
@@ -390,13 +501,39 @@ void WorkerLoop::handle_train_job(net::Transport& transport,
   job.rng_seed = msg.rng_seed;
   job.work_fraction = msg.work_fraction;
 
+  // Worker-side child span (§5i): gated on the RECEIVED context, so only a
+  // tracing server makes workers read clocks or buffer events — a worker's
+  // own trace flags never enter the decision, and untraced runs stay
+  // byte-identical.
+  const bool traced = msg.trace.valid();
+  const std::uint64_t train_begin_ns = traced ? obs::now_ns() : 0;
+
   nn::Sequential model = model_factory_();
   CompressedUpdate compressed;
   TrainOutcome outcome =
       run_local_job(job, dataset_.clients[msg.client_id].train, model,
                     msg.params, work, residuals_[msg.client_id], &compressed);
 
+  if (traced) {
+    obs::TraceEvent span;
+    span.name = "local_train";
+    span.category = "fl";
+    span.tid = obs::thread_id();
+    span.ts_ns = train_begin_ns;
+    span.dur_ns = obs::now_ns() - train_begin_ns;
+    span.span_id = obs::next_span_id();
+    span.parent_id = msg.trace.parent_span;
+    span.round = msg.trace.round;
+    trace_.record(span);
+    trace_id_ = msg.trace.trace_id;
+    trace_epoch_ = static_cast<std::int64_t>(msg.epoch);
+    last_trace_id_.store(msg.trace.trace_id, std::memory_order_relaxed);
+    last_parent_span_.store(msg.trace.parent_span, std::memory_order_relaxed);
+    last_round_.store(msg.trace.round, std::memory_order_relaxed);
+  }
+
   net::ClientUpdateMsg reply;
+  reply.trace = msg.trace;
   reply.epoch = msg.epoch;
   reply.client_id = msg.client_id;
   reply.average_loss = outcome.result.average_loss;
@@ -416,6 +553,23 @@ void WorkerLoop::handle_train_job(net::Transport& transport,
   if (status != net::TransportStatus::Ok) {
     HACCS_WARN << "worker " << config_.worker_id << " failed to send update: "
                << net::to_string(status);
+  }
+}
+
+void WorkerLoop::ship_trace_shard(net::Transport& transport) {
+  if (trace_.size() == 0) return;
+  net::TraceShardMsg shard;
+  shard.worker_id = config_.worker_id;
+  shard.trace_id = trace_id_;
+  shard.send_ns = obs::now_ns();
+  for (const obs::TraceEvent& event : trace_.snapshot()) {
+    shard.events.push_back(obs::to_portable(event));
+  }
+  trace_.clear();
+  const auto status = transport.send(net::encode_trace_shard(shard));
+  if (status != net::TransportStatus::Ok) {
+    HACCS_WARN << "worker " << config_.worker_id
+               << " failed to ship trace shard: " << net::to_string(status);
   }
 }
 
@@ -439,6 +593,10 @@ WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
         net::HeartbeatMsg beat;
         beat.sender_id = config_.worker_id;
         beat.epoch = last_epoch_.load(std::memory_order_relaxed);
+        beat.trace.trace_id = last_trace_id_.load(std::memory_order_relaxed);
+        beat.trace.parent_span =
+            last_parent_span_.load(std::memory_order_relaxed);
+        beat.trace.round = last_round_.load(std::memory_order_relaxed);
         if (transport.send(net::encode_heartbeat(beat)) ==
             net::TransportStatus::Closed) {
           return;  // the main loop will observe the close too
@@ -490,6 +648,12 @@ WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
       case net::MessageType::TrainJob:
         try {
           const auto msg = net::decode_train_job(frame);
+          // A job for a NEW round means the previous round committed
+          // server-side: ship the buffered spans home first (§5i).
+          if (msg.trace.valid() && trace_epoch_ >= 0 &&
+              static_cast<std::int64_t>(msg.epoch) != trace_epoch_) {
+            ship_trace_shard(transport);
+          }
           last_epoch_.store(msg.epoch, std::memory_order_relaxed);
           handle_train_job(transport, msg);
           ++served_;
@@ -497,10 +661,22 @@ WorkerRunEnd WorkerLoop::serve(net::Transport& transport) {
           HACCS_WARN << "undecodable TrainJob: " << e.what();
         }
         break;
+      case net::MessageType::EvalReport:
+        // A traced server's wind-down report: last chance to ship the final
+        // round's spans while the server is still draining our frames.
+        try {
+          if (net::decode_eval_report(frame).trace.valid()) {
+            ship_trace_shard(transport);
+          }
+        } catch (const net::WireError& e) {
+          HACCS_WARN << "undecodable EvalReport: " << e.what();
+        }
+        break;
       case net::MessageType::Shutdown:
+        ship_trace_shard(transport);
         return WorkerRunEnd::Shutdown;
       default:
-        break;  // SelectNotice / EvalReport / Heartbeat: informational
+        break;  // SelectNotice / Heartbeat: informational
     }
   }
   return end;

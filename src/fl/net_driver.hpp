@@ -34,9 +34,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,8 +47,46 @@
 #include "src/net/loopback.hpp"
 #include "src/net/messages.hpp"
 #include "src/net/transport.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::fl {
+
+/// Live-status mirror for the exposition endpoint (DESIGN.md §5i): the
+/// dispatcher publishes its round/worker state into relaxed atomics as it
+/// works and the status server's thread renders to_json() on demand — no
+/// lock is ever taken on the round loop. A null board pointer in the
+/// dispatcher config (the default) skips even the relaxed stores, keeping
+/// the flags-off serving path untouched.
+class ServingStatusBoard {
+ public:
+  struct Worker {
+    std::atomic<std::int64_t> last_heard_ms{-1};  ///< steady clock, ms
+    std::atomic<bool> alive{true};
+    std::atomic<std::uint64_t> outstanding{0};
+    std::atomic<std::uint64_t> updates{0};  ///< delivered updates, lifetime
+    std::atomic<std::uint64_t> sessions{0}; ///< reacquired transports
+  };
+
+  explicit ServingStatusBoard(std::size_t num_workers)
+      : workers_(num_workers) {}
+
+  Worker& worker(std::size_t w) { return workers_[w]; }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  std::atomic<std::uint64_t> round{0};
+  std::atomic<std::uint64_t> dispatched{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> quorum_target{0};
+  std::atomic<bool> quorum_met{false};
+  std::atomic<bool> collecting{false};
+
+  /// {"round":..,"workers":[{"id":..,"last_heard_age_ms":..},..]} — worker
+  /// ages computed against the steady clock at call time (-1 = never heard).
+  std::string to_json() const;
+
+ private:
+  std::vector<Worker> workers_;  ///< sized once; atomics live in place
+};
 
 struct TransportDispatcherConfig {
   LocalWorkConfig work;
@@ -72,6 +112,11 @@ struct TransportDispatcherConfig {
   /// return (non-owning, caller keeps ownership) replaces the dead
   /// transport. Unset = dead workers stay dead.
   std::function<net::Transport*(std::size_t)> reacquire;
+  /// Receives decoded TraceShard frames (workers' span buffers, §5i).
+  /// Unset = shards are drained and dropped.
+  std::function<void(net::TraceShardMsg&&)> on_trace_shard;
+  /// Live-status mirror for /status; non-owning, may be null (default).
+  ServingStatusBoard* status_board = nullptr;
 };
 
 /// Server side: ships TrainJob frames, collects ClientUpdate frames.
@@ -101,6 +146,12 @@ class TransportDispatcher final : public RoundDispatcher {
                   std::vector<TrainOutcome>& outcomes);
   void fail_all(std::size_t w, FailureKind kind,
                 std::vector<TrainOutcome>& outcomes);
+
+  /// Mirrors worker `w`'s queue depth / liveness onto the status board
+  /// (no-op with a null board).
+  void sync_board(std::size_t w);
+  /// Stamps worker `w`'s last-heard clock on the status board.
+  void board_note_heard(std::size_t w);
 
   /// The original strictly-serial collection (flags-off path, byte-identical
   /// to the pre-serving driver).
@@ -160,6 +211,9 @@ class WorkerLoop {
  private:
   void handle_train_job(net::Transport& transport,
                         const net::TrainJobMsg& msg);
+  /// Sends the buffered spans as one TraceShard frame and clears the
+  /// buffer; no-op when nothing was recorded.
+  void ship_trace_shard(net::Transport& transport);
 
   const data::FederatedDataset& dataset_;
   std::function<nn::Sequential()> model_factory_;
@@ -168,6 +222,17 @@ class WorkerLoop {
   std::size_t served_ = 0;
   /// Last epoch seen in a TrainJob — echoed in heartbeats for diagnostics.
   std::atomic<std::uint64_t> last_epoch_{0};
+  /// Spans recorded for trace-context-carrying jobs (§5i). Gated on the
+  /// RECEIVED context, not local trace flags: only the server decides
+  /// whether a run is traced, and an untraced run records nothing here.
+  obs::TraceBuffer trace_;
+  std::uint64_t trace_id_ = 0;
+  std::int64_t trace_epoch_ = -1;  ///< epoch the buffer's spans belong to
+  /// Last received context, republished in heartbeat trailers (relaxed
+  /// atomics: the heartbeat thread reads while the serve loop writes).
+  std::atomic<std::uint64_t> last_trace_id_{0};
+  std::atomic<std::uint64_t> last_parent_span_{0};
+  std::atomic<std::int64_t> last_round_{-1};
 };
 
 /// Knobs for LoopbackCluster beyond plain loopback options.

@@ -1,0 +1,45 @@
+#include "src/fl/run_summary.hpp"
+
+#include <cstdio>
+
+#include "src/obs/metrics.hpp"
+
+namespace haccs::fl {
+
+void append_summary_history(obs::JsonObject& o,
+                            const TrainingHistory& history) {
+  o.field("final_accuracy", history.final_accuracy())
+      .field("best_accuracy", history.best_accuracy())
+      .field("total_sim_time_s", history.total_time())
+      .field("uplink_bytes", history.total_uplink_bytes())
+      .field("downlink_bytes", history.total_downlink_bytes());
+}
+
+void append_summary_counters(obs::JsonObject& o) {
+  auto counter = [](const char* name) {
+    return obs::Registry::global().counter(name).value();
+  };
+  o.field("net_reconnects", counter("net_reconnects_total"))
+      .field("heartbeats_missed", counter("heartbeats_missed_total"))
+      .field("rounds_quorum_degraded",
+             counter("rounds_quorum_degraded_total"))
+      .field("checkpoints_written", counter("checkpoints_written_total"))
+      .field("scale_candidate_pairs", counter("scale_candidate_pairs_total"))
+      .field("scale_exact_distances", counter("scale_exact_distances_total"))
+      .field("scale_incremental_reclusters",
+             counter("scale_incremental_reclusters_total"));
+}
+
+bool write_summary_json(const obs::JsonObject& o, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", o.str().c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "wrote run summary to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace haccs::fl

@@ -1,0 +1,35 @@
+#pragma once
+/// \file
+/// Shared machine-readable run-summary emission for the experiment drivers.
+///
+/// `haccs_run --summary-json` and `haccs_server --summary-json` must agree on
+/// the counter keys they report (tools/check.sh diffs the two), so the common
+/// fields are appended by one helper instead of two hand-maintained field
+/// lists drifting apart.
+
+#include <string>
+
+#include "src/fl/history.hpp"
+#include "src/obs/obs.hpp"
+
+namespace haccs::fl {
+
+/// Appends the history-derived fields every driver reports:
+/// final_accuracy, best_accuracy, total_sim_time_s, uplink_bytes,
+/// downlink_bytes. check.sh pins final_accuracy/uplink_bytes/downlink_bytes
+/// equality between the single- and multi-process drivers — keep the key
+/// names stable.
+void append_summary_history(obs::JsonObject& o, const TrainingHistory& history);
+
+/// Appends the registry-counter fields every driver reports: serving-mode
+/// liveness counters (net_reconnects, heartbeats_missed,
+/// rounds_quorum_degraded, checkpoints_written) and the §5h scale pipeline
+/// counters (scale_candidate_pairs, scale_exact_distances,
+/// scale_incremental_reclusters).
+void append_summary_counters(obs::JsonObject& o);
+
+/// Writes `o` plus a trailing newline to `path`; on failure prints to stderr
+/// and returns false.
+bool write_summary_json(const obs::JsonObject& o, const std::string& path);
+
+}  // namespace haccs::fl

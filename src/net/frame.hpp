@@ -46,6 +46,7 @@ enum class MessageType : std::uint16_t {
   Summary = 7,       ///< worker -> server: distribution summary (§IV-A)
   Shutdown = 8,      ///< server -> worker: drain and exit
   Checkpoint = 9,    ///< file frame: nn::serialize parameter checkpoint
+  TraceShard = 10,   ///< worker -> server: buffered trace spans (§5i)
 };
 
 struct Frame {

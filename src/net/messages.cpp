@@ -96,6 +96,28 @@ UpdatePayload decode_update_payload(WireReader& r) {
   throw WireError("decode: bad update kind");
 }
 
+/// Trace-context trailer (24 bytes), written only for a valid context so
+/// untraced frames stay byte-identical to pre-trace builds. Decoders call
+/// the read side after every declared field: leftover payload either holds
+/// exactly one trailer or the frame is malformed (a partial trailer fails
+/// the u64 reads, so the existing trailing-garbage rejection still holds).
+void encode_trace_ctx(WireWriter& w, const obs::TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  w.u64(ctx.trace_id);
+  w.u64(ctx.parent_span);
+  w.u64(static_cast<std::uint64_t>(ctx.round));
+}
+
+obs::TraceContext decode_trace_ctx(WireReader& r) {
+  obs::TraceContext ctx;
+  if (r.remaining() > 0) {
+    ctx.trace_id = r.u64();
+    ctx.parent_span = r.u64();
+    ctx.round = static_cast<std::int64_t>(r.u64());
+  }
+  return ctx;
+}
+
 }  // namespace
 
 std::vector<float> UpdatePayload::to_dense() const {
@@ -168,6 +190,7 @@ Frame encode_train_job(const TrainJobMsg& msg) {
   w.f64(msg.topk_fraction);
   w.u8(msg.error_feedback);
   w.f32_array(msg.params);
+  encode_trace_ctx(w, msg.trace);
   return Frame{MessageType::TrainJob, w.take()};
 }
 
@@ -189,6 +212,7 @@ TrainJobMsg decode_train_job(const Frame& frame) {
   msg.topk_fraction = r.f64();
   msg.error_feedback = r.u8();
   msg.params = r.f32_array();
+  msg.trace = decode_trace_ctx(r);
   r.expect_exhausted();
   return msg;
 }
@@ -202,6 +226,7 @@ Frame encode_client_update(const ClientUpdateMsg& msg) {
   w.u64(msg.batches);
   w.u64(msg.sample_count);
   encode_update_payload(w, msg.update);
+  encode_trace_ctx(w, msg.trace);
   return Frame{MessageType::ClientUpdate, w.take()};
 }
 
@@ -215,6 +240,7 @@ ClientUpdateMsg decode_client_update(const Frame& frame) {
   msg.batches = r.u64();
   msg.sample_count = r.u64();
   msg.update = decode_update_payload(r);
+  msg.trace = decode_trace_ctx(r);
   r.expect_exhausted();
   return msg;
 }
@@ -241,6 +267,7 @@ Frame encode_heartbeat(const HeartbeatMsg& msg) {
   WireWriter w;
   w.u32(msg.sender_id);
   w.u64(msg.epoch);
+  encode_trace_ctx(w, msg.trace);
   return Frame{MessageType::Heartbeat, w.take()};
 }
 
@@ -249,6 +276,7 @@ HeartbeatMsg decode_heartbeat(const Frame& frame) {
   HeartbeatMsg msg;
   msg.sender_id = r.u32();
   msg.epoch = r.u64();
+  msg.trace = decode_trace_ctx(r);
   r.expect_exhausted();
   return msg;
 }
@@ -258,6 +286,7 @@ Frame encode_eval_report(const EvalReportMsg& msg) {
   w.u64(msg.epoch);
   w.f64(msg.accuracy);
   w.f64(msg.loss);
+  encode_trace_ctx(w, msg.trace);
   return Frame{MessageType::EvalReport, w.take()};
 }
 
@@ -267,6 +296,7 @@ EvalReportMsg decode_eval_report(const Frame& frame) {
   msg.epoch = r.u64();
   msg.accuracy = r.f64();
   msg.loss = r.f64();
+  msg.trace = decode_trace_ctx(r);
   r.expect_exhausted();
   return msg;
 }
@@ -298,6 +328,54 @@ SummaryMsg decode_summary(const Frame& frame) {
   msg.tables.resize(static_cast<std::size_t>(rows));
   for (auto& table : msg.tables) table = r.f64_array();
   msg.mass = r.f64_array();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_trace_shard(const TraceShardMsg& msg) {
+  WireWriter w;
+  w.u32(msg.worker_id);
+  w.u64(msg.trace_id);
+  w.u64(msg.send_ns);
+  w.u64(msg.events.size());
+  for (const obs::PortableTraceEvent& e : msg.events) {
+    w.string(e.name);
+    w.string(e.category);
+    w.u32(e.tid);
+    w.u64(e.ts_ns);
+    w.u64(e.dur_ns);
+    w.u64(e.span_id);
+    w.u64(e.parent_id);
+    w.u64(static_cast<std::uint64_t>(e.round));
+    w.u8(e.instant ? 1 : 0);
+  }
+  return Frame{MessageType::TraceShard, w.take()};
+}
+
+TraceShardMsg decode_trace_shard(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::TraceShard, "TraceShard");
+  TraceShardMsg msg;
+  msg.worker_id = r.u32();
+  msg.trace_id = r.u64();
+  msg.send_ns = r.u64();
+  const std::uint64_t count = r.u64();
+  // Every event costs at least its two string counts (16) plus the fixed
+  // fields (tid 4, five u64s 40, instant 1) = 61 bytes on the wire.
+  if (count > r.remaining() / 61) {
+    throw WireError("decode: trace shard event count exceeds payload");
+  }
+  msg.events.resize(static_cast<std::size_t>(count));
+  for (obs::PortableTraceEvent& e : msg.events) {
+    e.name = r.string();
+    e.category = r.string();
+    e.tid = r.u32();
+    e.ts_ns = r.u64();
+    e.dur_ns = r.u64();
+    e.span_id = r.u64();
+    e.parent_id = r.u64();
+    e.round = static_cast<std::int64_t>(r.u64());
+    e.instant = r.u8() != 0;
+  }
   r.expect_exhausted();
   return msg;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/net/frame.hpp"
+#include "src/obs/trace.hpp"
 
 namespace haccs::net {
 
@@ -82,6 +83,11 @@ struct TrainJobMsg {
   double topk_fraction = 0.1;
   std::uint8_t error_feedback = 1;
   std::vector<float> params;  ///< global parameters (downlink payload)
+  /// Optional trace-context trailer (DESIGN.md §5i): encoded only when
+  /// valid(), so an untraced run's frames are byte-identical to pre-trace
+  /// builds. Trace bytes are deliberately excluded from the latency model's
+  /// priced overhead constants.
+  obs::TraceContext trace;
 };
 
 /// worker -> server: the trained update plus local-round statistics.
@@ -99,6 +105,8 @@ struct ClientUpdateMsg {
   std::uint64_t batches = 0;
   std::uint64_t sample_count = 0;
   UpdatePayload update;
+  /// Optional trailer: the TrainJob's context echoed back for correlation.
+  obs::TraceContext trace;
 };
 
 /// server -> worker: ids picked this round (round control / observability).
@@ -111,6 +119,9 @@ struct SelectNoticeMsg {
 struct HeartbeatMsg {
   std::uint32_t sender_id = 0;
   std::uint64_t epoch = 0;
+  /// Optional trailer: the last context the sender saw (liveness probes can
+  /// then be placed on the round timeline).
+  obs::TraceContext trace;
 };
 
 /// server -> worker after a global evaluation.
@@ -118,6 +129,9 @@ struct EvalReportMsg {
   std::uint64_t epoch = 0;
   double accuracy = 0.0;
   double loss = 0.0;
+  /// Optional trailer; a valid context also tells the worker the server is
+  /// tracing, prompting a final TraceShard before shutdown.
+  obs::TraceContext trace;
 };
 
 /// worker -> server: one client's distribution summary (paper §IV-A uplink).
@@ -130,6 +144,18 @@ struct SummaryMsg {
   double lo = 0.0, hi = 0.0;
   std::vector<std::vector<double>> tables;
   std::vector<double> mass;
+};
+
+/// worker -> server: the worker's buffered spans for committed rounds
+/// (DESIGN.md §5i), shipped at the first job of a new round and again on
+/// shutdown. `send_ns` is the sender's now_ns() at ship time — the server
+/// subtracts it from its own receive-time clock to place the shard on the
+/// merged timeline.
+struct TraceShardMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t send_ns = 0;
+  std::vector<obs::PortableTraceEvent> events;
 };
 
 // Shutdown carries no payload: an empty MessageType::Shutdown frame.
@@ -154,6 +180,9 @@ EvalReportMsg decode_eval_report(const Frame& frame);
 
 Frame encode_summary(const SummaryMsg& msg);
 SummaryMsg decode_summary(const Frame& frame);
+
+Frame encode_trace_shard(const TraceShardMsg& msg);
+TraceShardMsg decode_trace_shard(const Frame& frame);
 
 Frame encode_shutdown();
 

@@ -1,0 +1,55 @@
+// Live exposition endpoint (DESIGN.md §5i): a deliberately tiny HTTP/1.0
+// server for poll-based scrapers — Prometheus on /metrics, a JSON ops view
+// on /status, and a liveness probe on /healthz.
+//
+// Scope is "scrape target", not "web server": one accept loop on one
+// background thread, one connection served at a time, connection closed
+// after every response (HTTP/1.0 semantics), request line parsed with a
+// find(' '). The serving hot path never touches this thread — endpoint
+// closures read lock-free registry atomics and the dispatcher's status
+// board, so a scrape costs the scraper, not the round loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace haccs::net {
+
+/// Bodies for the two content endpoints; called on the server thread per
+/// scrape, so they must only read concurrently-safe state (atomics,
+/// mutex-guarded snapshots). /healthz is built in.
+struct StatusEndpoints {
+  std::function<std::string()> metrics_text;  ///< /metrics (Prometheus 0.0.4)
+  std::function<std::string()> status_json;   ///< /status  (application/json)
+};
+
+class StatusServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// Throws std::runtime_error when the port cannot be bound.
+  StatusServer(std::uint16_t port, StatusEndpoints endpoints);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// The bound port (the ephemeral assignment when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stops the accept loop and joins the thread; idempotent.
+  void stop();
+
+ private:
+  void run();
+  void serve_one(int client_fd);
+
+  StatusEndpoints endpoints_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace haccs::net

@@ -129,6 +129,50 @@ std::string Registry::to_json() const {
   return out;
 }
 
+std::string Registry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  // Metric names come from instrumentation sites and are already
+  // identifier-shaped; sanitize defensively anyway, since Prometheus text
+  // has no escaping for names.
+  const auto sane = [](const std::string& name) {
+    std::string fixed = name;
+    for (char& c : fixed) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return fixed;
+  };
+  for (const auto& [name, c] : counters_) {
+    const std::string full = "haccs_" + sane(name);
+    out += "# TYPE " + full + " counter\n";
+    out += full + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string full = "haccs_" + sane(name);
+    out += "# TYPE " + full + " gauge\n";
+    out += full + " " + json_number(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string full = "haccs_" + sane(name);
+    out += "# TYPE " + full + " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += full + "_bucket{le=\"" + json_number(bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.back();
+    out += full + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += full + "_sum " + json_number(h->sum()) + "\n";
+    out += full + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
 bool Registry::write(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;

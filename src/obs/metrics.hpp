@@ -92,6 +92,11 @@ class Registry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;
 
+  /// Prometheus text exposition (format 0.0.4): every instrument prefixed
+  /// `haccs_`, one `# TYPE` line per family, histogram buckets cumulative
+  /// with a `+Inf` edge plus `_sum`/`_count` rows.
+  std::string to_prometheus() const;
+
   /// Writes to_json() to `path`; false on I/O failure.
   bool write(const std::string& path) const;
 

@@ -137,7 +137,7 @@ TEST(Wire, UnconsumedBytesFailExhaustionCheck) {
 // Frames
 
 net::Frame heartbeat_frame(std::uint32_t sender, std::uint64_t epoch) {
-  return net::encode_heartbeat({sender, epoch});
+  return net::encode_heartbeat({sender, epoch, {}});
 }
 
 TEST(Frame, EncodeDecodeRoundTrip) {
@@ -347,11 +347,139 @@ TEST(NetCodec, SmallerControlMessagesRoundTrip) {
     EXPECT_EQ(back.clients, msg.clients);
   }
   {
-    net::EvalReportMsg msg{30, 0.825, 0.61};
+    net::EvalReportMsg msg{30, 0.825, 0.61, {}};
     const auto back = net::decode_eval_report(net::encode_eval_report(msg));
     EXPECT_EQ(back.epoch, msg.epoch);
     EXPECT_EQ(back.accuracy, msg.accuracy);
     EXPECT_EQ(back.loss, msg.loss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context trailers + TraceShard (DESIGN.md §5i)
+
+TEST(NetCodec, TraceTrailerIsOptionalAndCostsExactly24Bytes) {
+  net::TrainJobMsg msg;
+  msg.epoch = 3;
+  msg.params = {1.0f, 2.0f};
+  const auto plain = net::encode_train_job(msg);
+  // Untraced frames are byte-identical to pre-trace builds, so the priced
+  // overhead constants stay honest.
+  EXPECT_EQ(net::kFrameHeaderBytes + plain.payload.size(),
+            fl::train_job_frame_bytes(msg.params.size()));
+  EXPECT_FALSE(net::decode_train_job(plain).trace.valid());
+
+  msg.trace.trace_id = 0x1234abcd5678ef01ull;
+  msg.trace.parent_span = 42;
+  msg.trace.round = 7;
+  const auto traced = net::encode_train_job(msg);
+  EXPECT_EQ(traced.payload.size(), plain.payload.size() + 24);
+  const auto back = net::decode_train_job(traced);
+  EXPECT_TRUE(back.trace.valid());
+  EXPECT_EQ(back.trace.trace_id, msg.trace.trace_id);
+  EXPECT_EQ(back.trace.parent_span, msg.trace.parent_span);
+  EXPECT_EQ(back.trace.round, msg.trace.round);
+}
+
+TEST(NetCodec, TraceTrailerRoundTripsOnEveryServingMessage) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0xfeedf00dull;
+  ctx.parent_span = 9001;
+  ctx.round = 12;
+  {
+    net::ClientUpdateMsg msg;
+    msg.epoch = 12;
+    msg.client_id = 4;
+    msg.update.size = 0;
+    msg.trace = ctx;
+    const auto back = net::decode_client_update(net::encode_client_update(msg));
+    EXPECT_EQ(back.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(back.trace.parent_span, ctx.parent_span);
+    EXPECT_EQ(back.trace.round, ctx.round);
+  }
+  {
+    net::HeartbeatMsg msg;
+    msg.sender_id = 2;
+    msg.epoch = 12;
+    msg.trace = ctx;
+    const auto back = net::decode_heartbeat(net::encode_heartbeat(msg));
+    EXPECT_EQ(back.sender_id, 2u);
+    EXPECT_EQ(back.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(back.trace.round, ctx.round);
+  }
+  {
+    net::EvalReportMsg msg{30, 0.825, 0.61, ctx};
+    const auto back = net::decode_eval_report(net::encode_eval_report(msg));
+    EXPECT_EQ(back.accuracy, msg.accuracy);
+    EXPECT_EQ(back.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(back.trace.parent_span, ctx.parent_span);
+  }
+}
+
+TEST(NetCodec, TraceShardRoundTripsEveryField) {
+  net::TraceShardMsg msg;
+  msg.worker_id = 3;
+  msg.trace_id = 0xabcdef0011223344ull;
+  msg.send_ns = 987654321;
+  obs::PortableTraceEvent span;
+  span.name = "local_train";
+  span.category = "fl";
+  span.tid = 7;
+  span.ts_ns = 1000;
+  span.dur_ns = 2500;
+  span.span_id = (4ull << 40) + 1;
+  span.parent_id = 99;
+  span.round = 5;
+  span.instant = false;
+  obs::PortableTraceEvent mark;
+  mark.name = "job.recv";
+  mark.category = "net";
+  mark.instant = true;
+  msg.events = {span, mark};
+
+  const auto back = net::decode_trace_shard(net::encode_trace_shard(msg));
+  EXPECT_EQ(back.worker_id, msg.worker_id);
+  EXPECT_EQ(back.trace_id, msg.trace_id);
+  EXPECT_EQ(back.send_ns, msg.send_ns);
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events[0].name, span.name);
+  EXPECT_EQ(back.events[0].category, span.category);
+  EXPECT_EQ(back.events[0].tid, span.tid);
+  EXPECT_EQ(back.events[0].ts_ns, span.ts_ns);
+  EXPECT_EQ(back.events[0].dur_ns, span.dur_ns);
+  EXPECT_EQ(back.events[0].span_id, span.span_id);
+  EXPECT_EQ(back.events[0].parent_id, span.parent_id);
+  EXPECT_EQ(back.events[0].round, span.round);
+  EXPECT_FALSE(back.events[0].instant);
+  EXPECT_EQ(back.events[1].name, mark.name);
+  EXPECT_TRUE(back.events[1].instant);
+}
+
+TEST(NetCodec, TraceShardRejectsTruncatedAndTrailingPayloads) {
+  net::TraceShardMsg msg;
+  msg.worker_id = 1;
+  msg.trace_id = 0x77;
+  obs::PortableTraceEvent event;
+  event.name = "round";
+  event.category = "fl";
+  msg.events = {event};
+  const auto frame = net::encode_trace_shard(msg);
+  {
+    auto cut = frame;
+    cut.payload.resize(cut.payload.size() - 3);
+    EXPECT_THROW(net::decode_trace_shard(cut), net::WireError);
+  }
+  {
+    auto padded = frame;
+    padded.payload.push_back(0);
+    EXPECT_THROW(net::decode_trace_shard(padded), net::WireError);
+  }
+  {
+    // An absurd event count must be rejected before any allocation happens.
+    // The count is the u64 after worker_id (u32) + trace_id + send_ns (u64s).
+    auto bloated = frame;
+    for (std::size_t i = 0; i < 8; ++i) bloated.payload[20 + i] = 0xFF;
+    EXPECT_THROW(net::decode_trace_shard(bloated), net::WireError);
   }
 }
 

@@ -18,6 +18,7 @@
 #include "src/core/haccs_system.hpp"
 #include "src/fl/engine.hpp"
 #include "src/obs/events.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/trace.hpp"
@@ -62,6 +63,8 @@ class ObsTest : public ::testing::Test {
     obs::RunEventLog::global().close();
     obs::TraceBuffer::global().clear();
     obs::Registry::global().reset();
+    obs::clear_round_context();
+    obs::FlightRecorder::global().disable();
   }
 
   static std::string temp_path(const std::string& name) {
@@ -422,6 +425,228 @@ TEST_F(ObsTest, TracedRunMatchesUntraced) {
     EXPECT_EQ(a.global_loss, b.global_loss) << "round " << i;
     EXPECT_EQ(a.selected, b.selected) << "round " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process correlation (§5i): span ids, round context, merged export
+
+TEST_F(ObsTest, SpanIdsFormParentChain) {
+  obs::set_trace_enabled(true);
+  EXPECT_EQ(obs::current_span_id(), 0u);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    obs::Span outer("chain_outer", "test");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(obs::current_span_id(), outer_id);
+    {
+      obs::Span inner("chain_inner", "test");
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, 0u);
+      EXPECT_NE(inner_id, outer_id);
+      EXPECT_EQ(obs::current_span_id(), inner_id);
+    }
+    EXPECT_EQ(obs::current_span_id(), outer_id);
+  }
+  EXPECT_EQ(obs::current_span_id(), 0u);
+  obs::set_trace_enabled(false);
+
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const auto events = obs::TraceBuffer::global().snapshot();
+  for (const auto& e : events) {
+    if (std::string(e.name) == "chain_outer") outer = &e;
+    if (std::string(e.name) == "chain_inner") inner = &e;
+  }
+  ASSERT_TRUE(outer && inner);
+  EXPECT_EQ(outer->span_id, outer_id);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->span_id, inner_id);
+  EXPECT_EQ(inner->parent_id, outer_id);
+}
+
+TEST_F(ObsTest, RoundContextStampsRecordedSpans) {
+  obs::set_trace_enabled(true);
+  EXPECT_FALSE(obs::round_context().valid());
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::process_trace_id();
+  ctx.parent_span = 77;
+  ctx.round = 5;
+  obs::set_round_context(ctx);
+  const obs::TraceContext seen = obs::round_context();
+  EXPECT_TRUE(seen.valid());
+  EXPECT_EQ(seen.trace_id, ctx.trace_id);
+  EXPECT_EQ(seen.parent_span, 77u);
+  EXPECT_EQ(seen.round, 5);
+  {
+    obs::Span s("ctx_span", "test");
+  }
+  obs::instant("ctx_mark", "test");
+  obs::clear_round_context();
+  EXPECT_FALSE(obs::round_context().valid());
+  obs::set_trace_enabled(false);
+
+  for (const auto& e : obs::TraceBuffer::global().snapshot()) {
+    EXPECT_EQ(e.round, 5) << e.name;
+    if (std::string(e.name) == "ctx_span") EXPECT_NE(e.span_id, 0u);
+    if (std::string(e.name) == "ctx_mark") EXPECT_EQ(e.span_id, 0u);
+  }
+}
+
+TEST_F(ObsTest, ProcessTraceIdIsStableAndNonzero) {
+  const std::uint64_t id = obs::process_trace_id();
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(obs::process_trace_id(), id);
+}
+
+TEST_F(ObsTest, MergedChromeJsonPlacesWorkersOnOwnTracks) {
+  obs::set_trace_enabled(true);
+  {
+    obs::Span s("round", "fl");
+  }
+  obs::set_trace_enabled(false);
+  const auto server_events = obs::TraceBuffer::global().snapshot();
+  ASSERT_EQ(server_events.size(), 1u);
+
+  obs::WorkerTrack track;
+  track.worker_id = 1;
+  track.label = "worker-1";
+  track.clock_offset_ns = 1000;
+  obs::PortableTraceEvent ev;
+  ev.name = "local_train";
+  ev.category = "fl";
+  ev.ts_ns = 500;
+  ev.dur_ns = 200;
+  ev.span_id = 42;
+  ev.parent_id = server_events[0].span_id;
+  ev.round = 0;
+  track.events.push_back(ev);
+
+  const std::string json = obs::merged_chrome_json(server_events, {track});
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Server on pid 1, worker 1 on pid 3, both named.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"haccs_server\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-1\""), std::string::npos);
+  // Span-id args survive for parent/child stitching across processes.
+  EXPECT_NE(json.find("\"span\":42"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"parent\":" + std::to_string(server_events[0].span_id)),
+      std::string::npos);
+  // The worker timestamp is shifted onto the server clock: 500 ns + 1000 ns
+  // offset = 1.5 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExpositionFormat) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().counter("obs_prom_c").inc(3);
+  obs::Registry::global().gauge("obs_prom_g").set(2.5);
+  obs::Histogram& h =
+      obs::Registry::global().histogram("obs_prom_h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  const std::string text = obs::Registry::global().to_prometheus();
+
+  EXPECT_NE(text.find("# TYPE haccs_obs_prom_c counter\nhaccs_obs_prom_c 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE haccs_obs_prom_g gauge\nhaccs_obs_prom_g 2.5\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with the +Inf catch-all.
+  EXPECT_NE(text.find("haccs_obs_prom_h_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("haccs_obs_prom_h_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("haccs_obs_prom_h_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("haccs_obs_prom_h_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("haccs_obs_prom_h_count 3\n"), std::string::npos);
+  // 0.0.4 text format: every line is "# ..." or "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("haccs_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST_F(ObsTest, FlightRecorderRingAndDump) {
+  auto& fr = obs::FlightRecorder::global();
+  fr.enable(::testing::TempDir(), /*max_rounds=*/4, /*max_log_lines=*/3);
+  ASSERT_TRUE(fr.enabled());
+  const std::string path = fr.path();
+  EXPECT_NE(path.find("flight-"), std::string::npos);
+
+  for (int i = 0; i < 6; ++i) {
+    fr.record_round_event("{\"epoch\":" + std::to_string(i) + "}");
+  }
+  fr.record_log_line("alpha");
+  fr.record_log_line("beta");
+  fr.record_log_line("gamma");
+  fr.record_log_line("delta");
+  fr.note_quorum_degraded();  // dumps immediately with its own reason
+  ASSERT_TRUE(fr.dump("unit-test"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_NE(doc.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"degraded_rounds\":1"), std::string::npos);
+  // Round ring of 4: epochs 2..5 retained, 0 and 1 evicted.
+  EXPECT_EQ(doc.find("{\"epoch\":0}"), std::string::npos);
+  EXPECT_EQ(doc.find("{\"epoch\":1}"), std::string::npos);
+  EXPECT_NE(doc.find("{\"epoch\":2}"), std::string::npos);
+  EXPECT_NE(doc.find("{\"epoch\":5}"), std::string::npos);
+  // Log ring of 3: "alpha" evicted, the rest retained in order.
+  EXPECT_EQ(doc.find("alpha"), std::string::npos);
+  const std::size_t beta = doc.find("beta");
+  const std::size_t delta = doc.find("delta");
+  ASSERT_NE(beta, std::string::npos);
+  ASSERT_NE(delta, std::string::npos);
+  EXPECT_LT(beta, delta);
+  // The metrics snapshot rides along.
+  EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, FlightRecorderDisabledIsNoop) {
+  auto& fr = obs::FlightRecorder::global();
+  ASSERT_FALSE(fr.enabled());
+  fr.record_round_event("{\"epoch\":0}");
+  fr.record_log_line("nope");
+  fr.note_quorum_degraded();
+  EXPECT_FALSE(fr.dump("disabled"));
+  EXPECT_TRUE(fr.path().empty());
+}
+
+TEST_F(ObsTest, FlightRecorderCrashDumpWritesStableBuffer) {
+  auto& fr = obs::FlightRecorder::global();
+  fr.enable(::testing::TempDir(), 8, 8);
+  fr.record_round_event("{\"epoch\":41}");
+  const std::string path = fr.path();
+  // Simulate the signal path directly (raising a real SIGSEGV would kill
+  // the test binary): only the pre-rendered stable buffer may be written.
+  fr.crash_dump();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_NE(doc.find("\"reason\":\"crash\""), std::string::npos);
+  EXPECT_NE(doc.find("{\"epoch\":41}"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -5,11 +5,19 @@
 // resume across reconnects.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -23,8 +31,12 @@
 #include "src/net/frame.hpp"
 #include "src/net/loopback.hpp"
 #include "src/net/messages.hpp"
+#include "src/net/status.hpp"
 #include "src/net/wire.hpp"
 #include "src/nn/serialize.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/select/oort.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/sim/dropout.hpp"
@@ -430,7 +442,7 @@ void echo_jobs(net::Transport& transport, int count,
       while (std::chrono::steady_clock::now() < deadline) {
         if (heartbeat_every_ms > 0) {
           transport.send(net::encode_heartbeat(
-              net::HeartbeatMsg{0, msg.epoch}));
+              net::HeartbeatMsg{0, msg.epoch, {}}));
           std::this_thread::sleep_for(
               std::chrono::milliseconds(heartbeat_every_ms));
         } else {
@@ -644,6 +656,241 @@ TEST(ServingDispatcher, EngineRunCompletesUnderChaos) {
                   r.rejected.size(),
               r.dispatched);
   }
+}
+
+// ---------------------------------------------------------------------------
+// ServingTrace: cross-process span propagation (DESIGN.md §5i)
+
+/// Trace tests flip process-global obs state; bracket them so suite order
+/// never bleeds (mirrors the ObsTest fixture).
+void reset_trace_state() {
+  obs::set_trace_enabled(false);
+  obs::TraceBuffer::global().clear();
+  obs::clear_round_context();
+}
+
+struct ShardCollector {
+  std::vector<obs::WorkerTrack> tracks;
+  void operator()(net::TraceShardMsg&& shard) {
+    obs::WorkerTrack track;
+    track.worker_id = shard.worker_id;
+    track.label = "worker-" + std::to_string(shard.worker_id);
+    track.events = std::move(shard.events);
+    tracks.push_back(std::move(track));
+  }
+};
+
+TEST(ServingTrace, WorkerSpansParentUnderServerRoundSpans) {
+  reset_trace_state();
+  obs::set_trace_enabled(true);
+
+  const auto fed = make_fed();
+  auto engine = make_engine(6);
+  fl::LoopbackCluster cluster(fed, core::default_model_factory(fed, 99), 2,
+                              fl::LoopbackClusterOptions{});
+
+  ShardCollector collector;
+  fl::TransportDispatcherConfig config;
+  config.work.local = engine.local;
+  config.work.compression = engine.compression;
+  config.recv_timeout_ms = 60000;
+  config.on_trace_shard = [&](net::TraceShardMsg&& s) {
+    collector(std::move(s));
+  };
+  fl::TransportDispatcher dispatcher(cluster.server_transports(), config);
+  engine.dispatcher = &dispatcher;
+
+  fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                               engine);
+  select::RandomSelector selector;
+  const auto history = trainer.run(selector);
+  ASSERT_EQ(history.records().size(), 6u);
+
+  // The server's round spans, keyed by span id — the ids workers must have
+  // adopted as parents.
+  std::map<std::uint64_t, std::int64_t> round_spans;
+  const auto server_events = obs::TraceBuffer::global().snapshot();
+  for (const auto& event : server_events) {
+    if (std::string(event.name) == "round") {
+      EXPECT_NE(event.span_id, 0u);
+      round_spans[event.span_id] = event.round;
+    }
+  }
+  EXPECT_EQ(round_spans.size(), 6u);
+
+  // Every worker local_train span must point at a real server round span
+  // and agree with it on the round index (the cross-process contract).
+  ASSERT_FALSE(collector.tracks.empty());
+  std::set<std::uint32_t> shipped_workers;
+  std::size_t train_spans = 0;
+  for (const auto& track : collector.tracks) {
+    shipped_workers.insert(track.worker_id);
+    for (const auto& event : track.events) {
+      if (event.name != "local_train") continue;
+      ++train_spans;
+      EXPECT_NE(event.span_id, 0u);
+      const auto parent = round_spans.find(event.parent_id);
+      ASSERT_NE(parent, round_spans.end())
+          << "worker span parent " << event.parent_id
+          << " is not a server round span";
+      EXPECT_EQ(parent->second, event.round);
+    }
+  }
+  EXPECT_GT(train_spans, 0u);
+  EXPECT_EQ(shipped_workers.size(), 2u) << "both workers must ship shards";
+
+  // The merged document puts the server on pid 1 and each worker on its own
+  // named track.
+  const std::string json =
+      obs::merged_chrome_json(server_events, collector.tracks);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("worker-1"), std::string::npos);
+
+  reset_trace_state();
+}
+
+TEST(ServingTrace, TracedServingHistoryMatchesUntraced) {
+  // Tracing a serving run must not change what the run computes: the round
+  // history (modulo wall-clock phase timings) is byte-identical.
+  auto run_once = [&](bool traced) {
+    reset_trace_state();
+    obs::set_trace_enabled(traced);
+    const auto fed = make_fed();
+    auto engine = make_engine(4);
+    fl::LoopbackCluster cluster(fed, core::default_model_factory(fed, 99), 2,
+                                fl::LoopbackClusterOptions{});
+    fl::TransportDispatcherConfig config;
+    config.work.local = engine.local;
+    config.work.compression = engine.compression;
+    config.recv_timeout_ms = 60000;
+    fl::TransportDispatcher dispatcher(cluster.server_transports(), config);
+    engine.dispatcher = &dispatcher;
+    fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                                 engine);
+    select::RandomSelector selector;
+    const auto history = trainer.run(selector);
+    std::vector<std::string> lines;
+    for (const auto& record : history.records()) {
+      lines.push_back(record_json_no_phase(record));
+    }
+    return lines;
+  };
+
+  const auto plain = run_once(false);
+  const auto traced = run_once(true);
+  reset_trace_state();
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], traced[i]) << "round " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServingStatus: the exposition endpoint under transport chaos
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1; returns the full
+/// response (head + body), empty on connect failure.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServingStatus, ScrapesStayConsistentUnderChaos) {
+  const auto fed = make_fed();
+  auto engine = make_engine(6);
+  engine.overcommit = 0.5;
+
+  fl::LoopbackClusterOptions options;
+  options.chaos.seed = 11;
+  options.chaos.drop_rate = 0.05;
+  options.chaos.corrupt_rate = 0.05;
+  options.chaos.duplicate_rate = 0.05;
+  options.chaos.reorder_rate = 0.05;
+  options.worker_heartbeat_interval_ms = 20;
+  fl::LoopbackCluster cluster(fed, core::default_model_factory(fed, 99), 2,
+                              options);
+
+  fl::ServingStatusBoard board(2);
+  fl::TransportDispatcherConfig config;
+  config.work.local = engine.local;
+  config.work.compression = engine.compression;
+  config.recv_timeout_ms = 60000;
+  config.heartbeat_timeout_ms = 2000;
+  config.quorum_fraction = 0.5;
+  config.quorum_grace_ms = 50;
+  config.status_board = &board;
+  fl::TransportDispatcher dispatcher(cluster.server_transports(), config);
+  engine.dispatcher = &dispatcher;
+
+  net::StatusEndpoints endpoints;
+  endpoints.metrics_text = [] {
+    return obs::Registry::global().to_prometheus();
+  };
+  endpoints.status_json = [&board] { return board.to_json(); };
+  net::StatusServer status(0, endpoints);
+  ASSERT_NE(status.port(), 0u);
+
+  fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
+                               engine);
+  select::RandomSelector selector;
+  fl::TrainingHistory history;
+  std::thread run([&] { history = trainer.run(selector); });
+
+  // Scrape while the round loop is live; every response must be well
+  // formed regardless of what chaos is doing to the serving links.
+  int ok_scrapes = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto health = http_get(status.port(), "/healthz");
+    const auto metrics = http_get(status.port(), "/metrics");
+    const auto status_doc = http_get(status.port(), "/status");
+    if (health.empty() || metrics.empty() || status_doc.empty()) continue;
+    ++ok_scrapes;
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(status_doc.find("200 OK"), std::string::npos);
+    EXPECT_NE(status_doc.find("\"workers\":["), std::string::npos);
+    EXPECT_NE(status_doc.find("\"id\":0"), std::string::npos);
+    EXPECT_NE(status_doc.find("\"id\":1"), std::string::npos);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  run.join();
+
+  EXPECT_GT(ok_scrapes, 0) << "no scrape ever reached the status server";
+  ASSERT_EQ(history.records().size(), 6u);
+
+  // After the run the board reflects the final round and every dispatched
+  // job of it landed in an outcome bucket (same invariant the chaos run
+  // pins, now read through the exposition surface).
+  const auto final_doc = http_get(status.port(), "/status");
+  EXPECT_NE(final_doc.find("\"round\":5"), std::string::npos);  // 0-based epochs
+  EXPECT_NE(final_doc.find("\"collecting\":false"), std::string::npos);
+
+  // Unknown targets 404 rather than confusing a scraper.
+  EXPECT_NE(http_get(status.port(), "/nope").find("404"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -28,8 +28,10 @@
 #   --check       regression-gate mode: run to temp files and compare each
 #                 google-benchmark suite against its committed BENCH_*.json
 #                 via tools/bench_check.py instead of overwriting baselines.
-#                 Noise threshold: HACCS_BENCH_TOLERANCE (default 0.6 = fail
-#                 above 1.6x baseline). The e2e summary has its own schema
+#                 Each suite has its own noise threshold (kernels 0.6, net
+#                 0.8, scale 1.0); override per suite with
+#                 HACCS_BENCH_TOLERANCE_<SUITE> or globally with
+#                 HACCS_BENCH_TOLERANCE. The e2e summary has its own schema
 #                 and is not gated.
 set -euo pipefail
 
@@ -71,7 +73,7 @@ fi
 check_or_keep() {
   if [[ "$check" -eq 1 ]]; then
     echo "checking $1 against $2"
-    python3 "$repo/tools/bench_check.py" "$2" "$3"
+    python3 "$repo/tools/bench_check.py" --suite "$1" "$2" "$3"
   else
     echo "wrote $3"
   fi

@@ -80,7 +80,8 @@ net_flags=(--rounds=6 --clients=12 --per-round=4 --classes=6 --seed=7)
 rm -f "$obs_dir/port"
 timeout 120 "$repo/build/examples/haccs_server" \
   --workers=2 --port=0 --port-file="$obs_dir/port" \
-  --summary-json="$obs_dir/net_server.json" "${net_flags[@]}" &
+  --summary-json="$obs_dir/net_server.json" \
+  --trace="$obs_dir/net_trace.json" "${net_flags[@]}" &
 server_pid=$!
 timeout 120 "$repo/build/examples/haccs_worker" \
   --worker-id=0 --workers=2 --port-file="$obs_dir/port" "${net_flags[@]}" &
@@ -104,6 +105,25 @@ assert tcp["downlink_bytes"] == direct["downlink_bytes"], (tcp, direct)
 assert tcp["net_bytes_sent"] >= tcp["downlink_bytes"]
 print(f"multi-process OK: final_accuracy={tcp['final_accuracy']} both ways, "
       f"{tcp['net_bytes_sent']} bytes over the wire")
+# The merged trace (DESIGN.md §5i): server round spans on pid 1, each
+# worker's local_train spans on its own track, parented under a round span
+# of the matching round.
+trace = json.load(open(obs_dir + "/net_trace.json"))
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events}
+assert 1 in pids and len(pids) >= 3, f"expected server + 2 workers, got {pids}"
+round_spans = {e["args"]["span"]: e["args"]["round"] for e in events
+               if e.get("name") == "round" and "args" in e}
+assert len(round_spans) == 6, round_spans
+worker_spans = [e for e in events
+                if e.get("name") == "local_train" and e.get("pid", 1) != 1]
+assert worker_spans, "no worker local_train spans shipped home"
+for e in worker_spans:
+    parent = e["args"]["parent"]
+    assert parent in round_spans, (e, sorted(round_spans))
+    assert round_spans[parent] == e["args"]["round"], e
+print(f"merged trace OK: {len(round_spans)} round spans, "
+      f"{len(worker_spans)} worker spans on {len(pids) - 1} tracks")
 EOF
 else
   echo "python3 not found; skipping multi-process summary comparison"
@@ -146,7 +166,7 @@ if [[ "$skip_sanitize" -eq 0 ]]; then
   # frame traffic through the same dispatcher the server binary uses).
   echo "== net transports under TSan =="
   "$repo/build-tsan/tests/haccs_tests" \
-    --gtest_filter='Loopback.*:Tcp.*:TransportDispatcher.*:EngineOverTransport.*:ChaosTransport.*:ServingDispatcher.*:WorkerReconnect.*'
+    --gtest_filter='Loopback.*:Tcp.*:TransportDispatcher.*:EngineOverTransport.*:ChaosTransport.*:ServingDispatcher.*:WorkerReconnect.*:ServingTrace.*:ServingStatus.*'
 fi
 
 echo "== all checks passed =="

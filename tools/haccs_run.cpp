@@ -20,6 +20,7 @@
 
 #include "bench/harness.hpp"
 #include "src/common/table.hpp"
+#include "src/fl/run_summary.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/core/gradient_selector.hpp"
@@ -286,50 +287,14 @@ int main(int argc, char** argv) {
         .field("rounds", engine_config.rounds)
         .field("clients", fed.num_clients())
         .field("per_round", engine_config.clients_per_round)
-        .field("seed", exp.seed)
-        .field("final_accuracy", history.final_accuracy())
-        .field("best_accuracy", history.best_accuracy())
-        .field("total_sim_time_s", history.total_time())
-        .field("wall_time_s", wall_s)
+        .field("seed", exp.seed);
+    fl::append_summary_history(o, history);
+    o.field("wall_time_s", wall_s)
         .field("dispatched_client_rounds", dispatched_total)
-        .field("wasted_client_rounds", wasted_total)
-        .field("uplink_bytes", history.total_uplink_bytes())
-        .field("downlink_bytes", history.total_downlink_bytes())
-        .field("net_reconnects",
-               obs::Registry::global().counter("net_reconnects_total").value())
-        .field("heartbeats_missed",
-               obs::Registry::global()
-                   .counter("heartbeats_missed_total")
-                   .value())
-        .field("rounds_quorum_degraded",
-               obs::Registry::global()
-                   .counter("rounds_quorum_degraded_total")
-                   .value())
-        .field("checkpoints_written",
-               obs::Registry::global()
-                   .counter("checkpoints_written_total")
-                   .value())
-        .field("scale_candidate_pairs",
-               obs::Registry::global()
-                   .counter("scale_candidate_pairs_total")
-                   .value())
-        .field("scale_exact_distances",
-               obs::Registry::global()
-                   .counter("scale_exact_distances_total")
-                   .value())
-        .field("scale_incremental_reclusters",
-               obs::Registry::global()
-                   .counter("scale_incremental_reclusters_total")
-                   .value())
-        .field_raw("tta_s", tta.str());
-    std::FILE* f = std::fopen(summary_json.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", summary_json.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%s\n", o.str().c_str());
-    std::fclose(f);
-    std::fprintf(stderr, "wrote run summary to %s\n", summary_json.c_str());
+        .field("wasted_client_rounds", wasted_total);
+    fl::append_summary_counters(o);
+    o.field_raw("tta_s", tta.str());
+    if (!fl::write_summary_json(o, summary_json)) return 1;
   }
 
   // Telemetry artifacts would also be written by the atexit hook; flushing

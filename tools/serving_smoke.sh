@@ -9,6 +9,12 @@
 #   2. Crash-resume smoke — the same workload is SIGKILLed shortly after its
 #      first checkpoint lands and restarted with --resume; the resumed run's
 #      final metrics must match an uninterrupted reference bit-for-bit.
+#   3. Ops-plane smoke (DESIGN.md §5i) — a traced run with the exposition
+#      endpoint up: /healthz, /metrics, and /status are scraped mid-run, a
+#      worker is SIGKILLed, the server is SIGTERMed, and the flight-recorder
+#      dump plus the merged Chrome trace must both be parseable afterwards.
+#      Set HACCS_SMOKE_ARTIFACT_DIR to keep the dump + trace (CI uploads
+#      them as artifacts).
 #
 # Usage: tools/serving_smoke.sh [build-dir]   (default: <repo>/build)
 set -euo pipefail
@@ -112,6 +118,88 @@ EOF
 else
   grep -q '"resumed": true' "$obs_dir/resume_res.json"
   echo "crash-resume OK (python3 not found; grepped resumed flag)"
+fi
+
+if command -v python3 >/dev/null; then
+  echo "== ops-plane smoke: scrape, kill a worker, SIGTERM, flight dump =="
+  ops_flags=(--rounds=500 --clients=12 --per-round=4 --classes=6 --seed=7)
+  rm -f "$obs_dir/port" "$obs_dir/status_port"
+  mkdir -p "$obs_dir/flight"
+  # No `timeout` wrapper: this server is SIGTERMed by hand below, and a
+  # wrapper would swallow the signal instead of forwarding the drain.
+  "$build/examples/haccs_server" \
+    --workers=2 --port=0 --port-file="$obs_dir/port" \
+    --status-port=0 --status-port-file="$obs_dir/status_port" \
+    --trace="$obs_dir/ops_trace.json" --flight-dir="$obs_dir/flight" \
+    --summary-json="$obs_dir/ops_server.json" \
+    --heartbeat-timeout-ms=2000 --quorum=0.5 --quorum-grace-ms=200 \
+    "${ops_flags[@]}" &
+  server_pid=$!
+  # Worker 0 is not wrapped in `timeout`: it is about to get SIGKILLed
+  # directly, and killing a wrapper would orphan the real process.
+  "$build/examples/haccs_worker" \
+    --worker-id=0 --workers=2 --port-file="$obs_dir/port" \
+    --heartbeat-interval-ms=500 --reconnect-attempts=40 "${ops_flags[@]}" &
+  w0_pid=$!
+  timeout 300 "$build/examples/haccs_worker" \
+    --worker-id=1 --workers=2 --port-file="$obs_dir/port" \
+    --heartbeat-interval-ms=500 --reconnect-attempts=40 "${ops_flags[@]}" &
+  w1_pid=$!
+  while [[ ! -s "$obs_dir/status_port" ]]; do sleep 0.05; done
+  sleep 1  # let a few rounds commit before scraping
+  python3 - "$obs_dir" <<'EOF'
+import sys, urllib.request
+port = open(sys.argv[1] + "/status_port").read().strip()
+def get(target):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{target}",
+                                timeout=10) as r:
+        assert r.status == 200, (target, r.status)
+        return r.read().decode()
+assert get("/healthz").strip() == "ok"
+metrics = get("/metrics")
+assert "# TYPE" in metrics and "haccs_" in metrics, metrics[:200]
+status = get("/status")
+assert '"workers":[' in status and '"round":' in status, status[:200]
+print(f"mid-run scrape OK: /healthz, /metrics ({len(metrics)} B), /status")
+EOF
+  kill -9 "$w0_pid" 2>/dev/null || true
+  wait "$w0_pid" 2>/dev/null || true
+  sleep 1  # the server must notice the dead worker and keep committing
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  wait "$w1_pid" || true
+  python3 - "$obs_dir" <<'EOF'
+import glob, json, sys
+obs_dir = sys.argv[1]
+dumps = glob.glob(obs_dir + "/flight/flight-*.json")
+assert dumps, "no flight-recorder dump written"
+flight = json.load(open(dumps[0]))
+for key in ("reason", "rounds", "log_lines", "metrics"):
+    assert key in flight, (key, list(flight))
+assert flight["reason"] == "sigterm-drain", flight["reason"]
+trace = json.load(open(obs_dir + "/ops_trace.json"))
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events}
+assert 1 in pids and len(pids) >= 2, pids
+rounds = {e["args"]["span"] for e in events
+          if e.get("name") == "round" and "args" in e}
+child = [e for e in events
+         if e.get("name") == "local_train" and e.get("pid", 1) != 1]
+assert child, "no worker local_train spans in the merged trace"
+for e in child:
+    assert e["args"]["parent"] in rounds, e
+print(f"ops-plane OK: flight dump ({flight['reason']}, "
+      f"{len(flight['rounds'])} rounds ringed), merged trace with "
+      f"{len(pids)} tracks and {len(child)} worker spans")
+EOF
+  if [[ -n "${HACCS_SMOKE_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$HACCS_SMOKE_ARTIFACT_DIR"
+    cp "$obs_dir"/flight/flight-*.json "$obs_dir/ops_trace.json" \
+       "$HACCS_SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+    echo "kept ops artifacts in $HACCS_SMOKE_ARTIFACT_DIR"
+  fi
+else
+  echo "== ops-plane smoke skipped (python3 not found) =="
 fi
 
 echo "== serving smoke passed =="
