@@ -5,12 +5,18 @@
 // mechanism, OPTICS, and device-profile sampling.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "src/clustering/optics.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/data/partition.hpp"
 #include "src/fl/client.hpp"
 #include "src/fl/compression.hpp"
+#include "src/fl/net_driver.hpp"
 #include "src/fl/protocol.hpp"
+#include "src/hier/tree_dispatcher.hpp"
+#include "src/net/loopback.hpp"
 #include "src/net/crc32.hpp"
 #include "src/net/frame.hpp"
 #include "src/net/messages.hpp"
@@ -333,6 +339,177 @@ BENCHMARK(BM_DecodeUpdate)
     ->Args({262144, 0})
     ->Args({262144, 1})
     ->Args({262144, 2});
+
+// ---------------------------------------------------------------------------
+// Flat vs tree round dispatch (DESIGN.md §5j): one full round's fan-out +
+// collection over loopback transports against emulated peers (no training —
+// the benchmark isolates the wire + fold path). The flat arm moves one dense
+// ClientUpdate per worker to the server; the tree arm moves one chunked f64
+// partial sum per aggregator, which is the uplink-compression story the
+// hierarchy exists for. Bytes/s counters report the modeled root uplink.
+
+constexpr std::size_t kRoundParams = 16384;
+constexpr std::size_t kRoundWorkers = 8;
+
+/// Emulated flat worker: echoes every TrainJob's params as a Dense update.
+void bench_flat_worker(net::Transport& transport) {
+  for (;;) {
+    net::Frame frame;
+    const auto status = transport.recv(&frame, 200);
+    if (status == net::TransportStatus::Closed) return;
+    if (status != net::TransportStatus::Ok) continue;
+    if (frame.type == net::MessageType::Shutdown) return;
+    if (frame.type != net::MessageType::TrainJob) continue;
+    const auto msg = net::decode_train_job(frame);
+    net::ClientUpdateMsg reply;
+    reply.epoch = msg.epoch;
+    reply.client_id = msg.client_id;
+    reply.batches = 1;
+    reply.sample_count = 10;
+    reply.update.kind = net::UpdateKind::Dense;
+    reply.update.size = msg.params.size();
+    reply.update.dense = msg.params;
+    if (transport.send(net::encode_client_update(reply), 5000) !=
+        net::TransportStatus::Ok) {
+      return;
+    }
+  }
+}
+
+/// Emulated mid-tier aggregator: answers each SelectNotice round with a
+/// chunked weighted partial sum plus the SubtreeUpdate trailer.
+void bench_tree_agg(net::Transport& transport, std::uint32_t agg_id,
+                    std::size_t chunk_params) {
+  for (;;) {
+    net::Frame frame;
+    const auto status = transport.recv(&frame, 200);
+    if (status == net::TransportStatus::Closed) return;
+    if (status != net::TransportStatus::Ok) continue;
+    if (frame.type == net::MessageType::Shutdown) return;
+    if (frame.type != net::MessageType::SelectNotice) continue;
+    const auto notice = net::decode_select_notice(frame);
+    std::vector<float> params;
+    for (std::size_t i = 0; i < notice.clients.size(); ++i) {
+      if (transport.recv(&frame, 5000) != net::TransportStatus::Ok) return;
+      params = net::decode_train_job(frame).params;
+    }
+    const double weight = 10.0 * notice.clients.size();
+    std::uint64_t chunks = 0;
+    for (std::size_t offset = 0; offset < params.size();
+         offset += chunk_params) {
+      net::SubtreeChunkMsg chunk;
+      chunk.epoch = notice.epoch;
+      chunk.agg_id = agg_id;
+      chunk.offset = offset;
+      const std::size_t end = std::min(offset + chunk_params, params.size());
+      chunk.data.reserve(end - offset);
+      for (std::size_t k = offset; k < end; ++k) {
+        chunk.data.push_back(weight * static_cast<double>(params[k]));
+      }
+      if (transport.send(net::encode_subtree_chunk(chunk), 5000) !=
+          net::TransportStatus::Ok) {
+        return;
+      }
+      ++chunks;
+    }
+    net::SubtreeUpdateMsg update;
+    update.epoch = notice.epoch;
+    update.agg_id = agg_id;
+    update.weight = weight;
+    update.n_chunks = chunks;
+    for (const std::uint32_t c : notice.clients) {
+      net::SubtreeClientStat stat;
+      stat.client_id = c;
+      stat.delivered = 1;
+      stat.sample_count = 10;
+      stat.batches = 1;
+      update.stats.push_back(stat);
+    }
+    if (transport.send(net::encode_subtree_update(update), 5000) !=
+        net::TransportStatus::Ok) {
+      return;
+    }
+  }
+}
+
+std::vector<fl::TrainJobSpec> bench_round_jobs() {
+  std::vector<fl::TrainJobSpec> jobs(kRoundWorkers);
+  for (std::size_t w = 0; w < kRoundWorkers; ++w) {
+    jobs[w].slot = w;
+    jobs[w].client_id = w;
+  }
+  return jobs;
+}
+
+void BM_FlatRoundDispatch(benchmark::State& state) {
+  std::vector<net::LoopbackPair> pairs;
+  std::vector<net::Transport*> server_side;
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kRoundWorkers; ++w) {
+    pairs.push_back(net::make_loopback_pair());
+    server_side.push_back(pairs.back().a.get());
+  }
+  for (std::size_t w = 0; w < kRoundWorkers; ++w) {
+    workers.emplace_back([&, w] { bench_flat_worker(*pairs[w].b); });
+  }
+
+  fl::TransportDispatcherConfig config;
+  config.recv_timeout_ms = 30000;
+  fl::TransportDispatcher dispatcher(server_side, config);
+  const auto jobs = bench_round_jobs();
+  const std::vector<float> params(kRoundParams, 1.0f);
+  for (auto _ : state) {
+    std::vector<fl::TrainOutcome> outcomes(jobs.size());
+    dispatcher.execute(jobs, params, outcomes);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  for (auto& pair : pairs) pair.a->send(net::encode_shutdown(), 1000);
+  for (auto& thread : workers) thread.join();
+  // Root uplink: one dense f32 update per worker per round.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRoundWorkers *
+                                                    kRoundParams *
+                                                    sizeof(float)));
+}
+BENCHMARK(BM_FlatRoundDispatch)->Unit(benchmark::kMillisecond);
+
+void BM_TreeRoundDispatch(benchmark::State& state) {
+  const auto num_aggs = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 4096;
+  std::vector<net::LoopbackPair> pairs;
+  std::vector<net::Transport*> root_side;
+  std::vector<std::thread> aggs;
+  for (std::size_t a = 0; a < num_aggs; ++a) {
+    pairs.push_back(net::make_loopback_pair());
+    root_side.push_back(pairs.back().a.get());
+  }
+  for (std::size_t a = 0; a < num_aggs; ++a) {
+    aggs.emplace_back([&, a] {
+      bench_tree_agg(*pairs[a].b, static_cast<std::uint32_t>(a), kChunk);
+    });
+  }
+
+  hier::TreeDispatcherConfig config;
+  config.num_workers = kRoundWorkers;
+  config.recv_timeout_ms = 30000;
+  hier::TreeDispatcher dispatcher(root_side, config);
+  const auto jobs = bench_round_jobs();
+  const std::vector<float> params(kRoundParams, 1.0f);
+  for (auto _ : state) {
+    std::vector<fl::TrainOutcome> outcomes(jobs.size());
+    dispatcher.execute(jobs, params, outcomes);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  for (auto& pair : pairs) pair.a->send(net::encode_shutdown(), 1000);
+  for (auto& thread : aggs) thread.join();
+  // Root uplink: one chunked f64 partial sum per aggregator per round,
+  // independent of the worker count — the fan-in win.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(num_aggs * kRoundParams *
+                                                    sizeof(double)));
+  state.counters["aggs"] = static_cast<double>(num_aggs);
+}
+BENCHMARK(BM_TreeRoundDispatch)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace haccs

@@ -17,6 +17,7 @@
 
 #include "src/clustering/dbscan.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/threadpool.hpp"
 #include "src/scale/incremental.hpp"
 #include "src/scale/scale.hpp"
 
@@ -85,6 +86,40 @@ BENCHMARK(BM_ScaleClusterSharded)
 BENCHMARK(BM_ScaleClusterSharded)
     ->Arg(1'000'000)
     ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Shard fan-out thread sweep: the same 100k-client batch clustering on an
+/// explicitly sized pool (1/2/4/8 workers through cluster_sharded's pool
+/// seam). Labels are width-invariant (shards are independent); the sweep
+/// measures how far the per-shard parallel_for actually scales on the host
+/// — on a single-core machine all four entries should be flat, which is
+/// itself the signal (no phantom speedup from oversubscription).
+void BM_ScaleClusterShardedThreads(benchmark::State& state) {
+  constexpr std::size_t kClients = 100'000;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto sketches = synthetic_sketches(kClients, rng);
+  const auto exact = [&sketches](std::size_t i, std::size_t j) {
+    return sketch_distance(sketches, i, j);
+  };
+  const auto cluster = bench_cluster_fn();
+  const auto config = bench_config();
+  // "1 thread" = 1 pool worker; ThreadPool(0) would run inline on the
+  // calling thread, which is the same serial schedule with less queueing.
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto labels =
+        cluster_sharded(sketches, exact, cluster, config, nullptr, &pool);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() * kClients);
+}
+BENCHMARK(BM_ScaleClusterShardedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 /// Incremental re-selection at an established population: one selection

@@ -42,8 +42,10 @@
 #include "bench/harness.hpp"
 #include "examples/multiprocess_common.hpp"
 #include "src/common/table.hpp"
+#include "src/core/live_recluster.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/fl/checkpoint.hpp"
+#include "src/hier/tree_dispatcher.hpp"
 #include "src/fl/net_driver.hpp"
 #include "src/fl/run_summary.hpp"
 #include "src/net/chaos.hpp"
@@ -80,6 +82,16 @@ void print_usage() {
       "  --quorum=Q           commit a round at Q of its updates (default 1)\n"
       "  --quorum-grace-ms=T  straggler grace after quorum (default 0)\n"
       "  --overcommit=F       over-select by F (e.g. 0.5 = +50%)\n"
+      "tree (DESIGN.md §5j): --aggs=A  accept A haccs_agg mid-tier\n"
+      "                       aggregators instead of workers; --workers\n"
+      "                       still names the federation-wide worker count\n"
+      "                       (A must divide it). Dense aggregation is\n"
+      "                       bit-identical to a flat --agg-groups=A run.\n"
+      "  --agg-groups=A       flat grouped aggregation: fold updates into A\n"
+      "                       per-group partial sums in-process (the tree\n"
+      "                       bit-identity baseline; default 0 = classic)\n"
+      "  --live-recluster     re-cluster the live population on every\n"
+      "                       worker/aggregator liveness edge (§5h)\n"
       "chaos (outbound fault injection): --chaos-seed --chaos-drop\n"
       "  --chaos-dup --chaos-reorder --chaos-corrupt --chaos-truncate\n"
       "  --chaos-disconnect\n"
@@ -254,6 +266,126 @@ class Fleet {
   std::vector<bool> have_summary_;
 };
 
+/// The aggregator fleet (tree mode, §5j): accepts --aggs haccs_agg
+/// connections, each announcing its subtree with TopologyHello and relaying
+/// the summaries its workers uploaded. No reacquire path — a mid-tier
+/// process owns live downstream state (fold frontier, worker sessions) that
+/// a fresh process cannot resume, so a dead aggregator stays dead and the
+/// TreeDispatcher contains the loss (salvage or torn round).
+class AggFleet {
+ public:
+  AggFleet(haccs::net::TcpListener& listener, std::size_t num_aggs,
+           std::size_t num_workers, std::size_t num_clients,
+           int io_timeout_ms, haccs::net::ChaosOptions chaos)
+      : listener_(listener),
+        num_workers_(num_workers),
+        num_clients_(num_clients),
+        io_timeout_ms_(io_timeout_ms),
+        chaos_(chaos),
+        slots_(num_aggs),
+        summaries_(num_clients),
+        have_summary_(num_clients, false) {}
+
+  /// Blocks until every aggregator has completed the TopologyHello +
+  /// summary-relay handshake. An aggregator only announces AFTER its own
+  /// downstream handshake finished, so the deadline must cover the workers'
+  /// connect time too.
+  bool accept_all(int accept_timeout_ms) {
+    namespace net = haccs::net;
+    std::size_t connected = 0;
+    while (connected < slots_.size()) {
+      auto transport = listener_.accept(accept_timeout_ms);
+      if (!transport) {
+        std::fprintf(stderr, "timed out waiting for aggregator %zu of %zu\n",
+                     connected + 1, slots_.size());
+        return false;
+      }
+      net::Frame frame;
+      if (transport->recv(&frame, io_timeout_ms_) !=
+              net::TransportStatus::Ok ||
+          frame.type != net::MessageType::TopologyHello) {
+        std::fprintf(stderr,
+                     "handshake with %s failed (no TopologyHello frame)\n",
+                     transport->peer().c_str());
+        return false;
+      }
+      const net::TopologyHelloMsg hello = net::decode_topology_hello(frame);
+      const std::size_t per = num_workers_ / slots_.size();
+      if (hello.num_aggs != slots_.size() || hello.agg_id >= slots_.size() ||
+          hello.worker_begin != hello.agg_id * per ||
+          hello.worker_end != (hello.agg_id + 1) * per) {
+        std::fprintf(stderr,
+                     "aggregator topology mismatch (agg %u/%u, workers "
+                     "[%u, %u)) — check --aggs/--workers on every tier\n",
+                     hello.agg_id, hello.num_aggs, hello.worker_begin,
+                     hello.worker_end);
+        return false;
+      }
+      if (slots_[hello.agg_id]) {
+        std::fprintf(stderr,
+                     "duplicate TopologyHello for aggregator %u — check "
+                     "each aggregator's --agg-id\n",
+                     hello.agg_id);
+        return false;
+      }
+      // The relayed §IV-A uplink: the subtree's one-per-client summaries.
+      for (std::uint32_t s = 0; s < hello.num_clients; ++s) {
+        if (transport->recv(&frame, io_timeout_ms_) !=
+                net::TransportStatus::Ok ||
+            frame.type != net::MessageType::Summary) {
+          std::fprintf(stderr, "agg %u: summary %u of %u never arrived\n",
+                       hello.agg_id, s + 1, hello.num_clients);
+          return false;
+        }
+        const net::SummaryMsg msg = net::decode_summary(frame);
+        if (msg.client_id >= num_clients_) {
+          std::fprintf(stderr, "summary for unknown client %u\n",
+                       msg.client_id);
+          return false;
+        }
+        haccs::core::ClientSummary summary;
+        summary.kind = haccs::stats::SummaryKind::Response;
+        summary.response = haccs::stats::decode_response_summary(msg);
+        summaries_[msg.client_id] = std::move(summary);
+        have_summary_[msg.client_id] = true;
+      }
+      net::ChaosOptions forked = chaos_;
+      forked.seed = chaos_.seed ^ (0xa11ce11aULL * (hello.agg_id + 1));
+      std::fprintf(stderr,
+                   "aggregator %u connected (%s), fronting workers [%u, %u) "
+                   "with %u client(s)\n",
+                   hello.agg_id, transport->peer().c_str(),
+                   hello.worker_begin, hello.worker_end, hello.num_clients);
+      slots_[hello.agg_id] = net::wrap_chaos(std::move(transport), forked);
+      ++connected;
+    }
+    return true;
+  }
+
+  const std::vector<std::unique_ptr<haccs::net::Transport>>& slots() const {
+    return slots_;
+  }
+  const std::vector<haccs::core::ClientSummary>& summaries() const {
+    return summaries_;
+  }
+  bool have_all_summaries() const {
+    for (bool have : have_summary_) {
+      if (!have) return false;
+    }
+    return true;
+  }
+
+ private:
+  haccs::net::TcpListener& listener_;
+  std::size_t num_workers_;
+  std::size_t num_clients_;
+  int io_timeout_ms_;
+  haccs::net::ChaosOptions chaos_;
+  std::vector<std::unique_ptr<haccs::net::Transport>> slots_;
+  std::vector<haccs::core::ClientSummary> summaries_;
+  std::vector<bool> have_summary_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -291,6 +423,10 @@ int main(int argc, char** argv) try {
   const int quorum_grace_ms =
       static_cast<int>(flags.get_int("quorum-grace-ms", 0));
   const double overcommit = flags.get_double("overcommit", 0.0);
+  const auto num_aggs = static_cast<std::size_t>(flags.get_int("aggs", 0));
+  const auto agg_groups =
+      static_cast<std::size_t>(flags.get_int("agg-groups", 0));
+  const bool live_recluster = flags.get_bool("live-recluster", false);
   const int status_port = static_cast<int>(flags.get_int("status-port", -1));
   const std::string status_port_file =
       flags.get_string("status-port-file", "");
@@ -307,6 +443,23 @@ int main(int argc, char** argv) try {
   }
   if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 1;
+  }
+  if (num_aggs > 0 && agg_groups > 0) {
+    std::fprintf(stderr,
+                 "--aggs and --agg-groups are exclusive (a tree run IS the "
+                 "grouped aggregation)\n");
+    return 1;
+  }
+  if ((num_aggs > 0 && num_workers % num_aggs != 0) ||
+      (agg_groups > 0 && num_workers % agg_groups != 0)) {
+    std::fprintf(stderr, "--aggs/--agg-groups must divide --workers\n");
+    return 1;
+  }
+  if (num_aggs > 0 && quorum < 1.0) {
+    std::fprintf(stderr,
+                 "--quorum is not supported in tree mode (the mid tier owns "
+                 "straggler deadlines via --round-timeout-ms)\n");
     return 1;
   }
 
@@ -344,11 +497,28 @@ int main(int argc, char** argv) try {
   // ---- accept the worker fleet ----
   net::TcpListener listener(port_flag);
   if (!port_file.empty()) examples::write_port_file(port_file, listener.port());
-  std::fprintf(stderr, "listening on 127.0.0.1:%u, waiting for %zu worker(s)\n",
-               listener.port(), num_workers);
+  std::fprintf(stderr,
+               "listening on 127.0.0.1:%u, waiting for %zu %s\n",
+               listener.port(), num_aggs > 0 ? num_aggs : num_workers,
+               num_aggs > 0 ? "aggregator(s)" : "worker(s)");
 
-  Fleet fleet(listener, num_workers, fed.num_clients(), io_timeout_ms, chaos);
-  if (!fleet.accept_all(accept_timeout_ms)) return 1;
+  // Exactly one fleet exists: workers (flat) or mid-tier aggregators
+  // (tree). Both yield the same wire-borne summary view.
+  std::optional<Fleet> fleet;
+  std::optional<AggFleet> agg_fleet;
+  if (num_aggs > 0) {
+    agg_fleet.emplace(listener, num_aggs, num_workers, fed.num_clients(),
+                      io_timeout_ms, chaos);
+    if (!agg_fleet->accept_all(accept_timeout_ms)) return 1;
+  } else {
+    fleet.emplace(listener, num_workers, fed.num_clients(), io_timeout_ms,
+                  chaos);
+    if (!fleet->accept_all(accept_timeout_ms)) return 1;
+  }
+  const std::vector<core::ClientSummary>& wire_summaries =
+      num_aggs > 0 ? agg_fleet->summaries() : fleet->summaries();
+  const bool all_summaries = num_aggs > 0 ? agg_fleet->have_all_summaries()
+                                          : fleet->have_all_summaries();
 
   // ---- strategy ----
   std::size_t num_clusters = 0;  ///< reported on /status (0 = unclustered)
@@ -357,10 +527,11 @@ int main(int argc, char** argv) try {
   haccs.initial_loss = engine_config.initial_loss;
   haccs.summary = stats::SummaryKind::Response;
   std::unique_ptr<fl::ClientSelector> selector;
+  core::HaccsSelector* haccs_selector_ptr = nullptr;  ///< live re-cluster hook
   if (strategy == "random") {
     selector = std::make_unique<select::RandomSelector>();
   } else if (strategy == "haccs-py") {
-    if (!fleet.have_all_summaries()) {
+    if (!all_summaries) {
       std::fprintf(stderr,
                    "missing client summaries — check each worker's "
                    "--worker-id/--workers against --workers here\n");
@@ -370,11 +541,12 @@ int main(int argc, char** argv) try {
     // equivalent of core::cluster_clients (and identical to it for the same
     // flags, since the f64 tables round-trip bit-exactly).
     const auto labels = core::cluster_distances(
-        core::summary_distances(fleet.summaries()), haccs);
+        core::summary_distances(wire_summaries), haccs);
     auto haccs_selector = std::make_unique<core::HaccsSelector>(labels, haccs);
     // The selector's effective count (DBSCAN noise remapped to singleton
     // clusters), which is what scheduling actually operates on.
     num_clusters = haccs_selector->num_clusters();
+    haccs_selector_ptr = haccs_selector.get();
     selector = std::move(haccs_selector);
   } else {
     std::fprintf(stderr, "unknown strategy '%s' (random|haccs-py)\n",
@@ -383,25 +555,59 @@ int main(int argc, char** argv) try {
   }
 
   // ---- train over the transports ----
+  fl::LocalWorkConfig work;
+  work.local = engine_config.local;
+  work.fedprox = engine_config.algorithm == fl::LocalAlgorithm::FedProx;
+  work.fedprox_mu = engine_config.fedprox_mu;
+  work.compression = engine_config.compression;
+
   fl::TransportDispatcherConfig dispatch_config;
-  dispatch_config.work.local = engine_config.local;
-  dispatch_config.work.fedprox =
-      engine_config.algorithm == fl::LocalAlgorithm::FedProx;
-  dispatch_config.work.fedprox_mu = engine_config.fedprox_mu;
-  dispatch_config.work.compression = engine_config.compression;
+  dispatch_config.work = work;
   dispatch_config.send_timeout_ms = io_timeout_ms;
   dispatch_config.recv_timeout_ms = io_timeout_ms;
   dispatch_config.heartbeat_timeout_ms = heartbeat_timeout_ms;
   dispatch_config.quorum_fraction = quorum;
   dispatch_config.quorum_grace_ms = quorum_grace_ms;
+  // Grouped aggregation (§5j): the flat baseline a tree run must match
+  // bit-for-bit. The norm threshold must mirror the engine's so the fold
+  // rejects exactly the updates the engine itself would.
+  dispatch_config.agg_groups = agg_groups;
+  dispatch_config.max_update_norm = engine_config.max_update_norm;
   // Liveness mode implies fleet management: dead workers may reconnect and
   // reclaim their slot. With the default flags the dispatcher stays on the
   // original strictly-serial path, byte-identical to earlier releases.
-  if (heartbeat_timeout_ms > 0 || quorum < 1.0) {
+  if (fleet && (heartbeat_timeout_ms > 0 || quorum < 1.0)) {
     dispatch_config.reacquire = [&fleet](std::size_t w) {
-      return fleet.reacquire(w);
+      return fleet->reacquire(w);
     };
   }
+
+  // ---- live re-cluster (§5h): membership follows liveness edges ----
+  std::optional<core::LiveClusterTracker> live_tracker;
+  if (live_recluster) {
+    if (haccs_selector_ptr == nullptr) {
+      std::fprintf(stderr, "--live-recluster requires --strategy=haccs-py\n");
+      return 1;
+    }
+    // A liveness edge covers one dispatcher peer: a worker's hosted clients
+    // in flat mode, a whole subtree in tree mode.
+    const std::size_t members = num_aggs > 0 ? num_aggs : num_workers;
+    std::vector<std::vector<std::size_t>> clients_of_member(members);
+    for (std::size_t c = 0; c < fed.num_clients(); ++c) {
+      const std::size_t w = c % num_workers;
+      clients_of_member[num_aggs > 0 ? w / (num_workers / num_aggs) : w]
+          .push_back(c);
+    }
+    live_tracker.emplace(wire_summaries, std::move(clients_of_member), haccs);
+  }
+  auto on_liveness = [&](std::size_t member, bool alive) {
+    if (!live_tracker) return;
+    live_tracker->on_member(member, alive);
+    // Refresh immediately: the dispatcher fires edges on the engine thread,
+    // so the new labels are in place before the next round's select().
+    live_tracker->refresh(*haccs_selector_ptr);
+  };
+  if (live_tracker) dispatch_config.on_liveness = on_liveness;
 
   // ---- ops plane: trace-shard collection + live status (§5i) ----
   // Shards arrive on the dispatcher's collection path during rounds and on
@@ -420,7 +626,11 @@ int main(int argc, char** argv) try {
   };
   if (obs::trace_enabled()) dispatch_config.on_trace_shard = collect_shard;
 
-  fl::ServingStatusBoard status_board(num_workers);
+  // Board rows are the dispatcher's direct peers: workers in flat mode,
+  // aggregators in tree mode (each row's `queued` gauge is that peer's
+  // outstanding-frame depth, §5j backpressure).
+  fl::ServingStatusBoard status_board(num_aggs > 0 ? num_aggs : num_workers);
+  const char* const tier = num_aggs > 0 ? "root" : "flat";
   std::optional<net::StatusServer> status_server;
   if (status_port >= 0) {
     dispatch_config.status_board = &status_board;
@@ -429,7 +639,7 @@ int main(int argc, char** argv) try {
     endpoints.metrics_text = [] {
       return obs::Registry::global().to_prometheus();
     };
-    endpoints.status_json = [&status_board, num_clusters, started] {
+    endpoints.status_json = [&status_board, num_clusters, started, tier] {
       const double uptime_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)
@@ -438,7 +648,8 @@ int main(int argc, char** argv) try {
       const std::uint64_t sent = wire.bytes_sent.value();
       const std::uint64_t received = wire.bytes_received.value();
       obs::JsonObject o;
-      o.field("uptime_s", uptime_s)
+      o.field("tier", tier)
+          .field("uptime_s", uptime_s)
           .field("clusters", num_clusters)
           .field("net_bytes_sent", sent)
           .field("net_bytes_received", received)
@@ -460,11 +671,30 @@ int main(int argc, char** argv) try {
                  status_server->port());
   }
 
-  std::vector<net::Transport*> worker_ptrs;
-  worker_ptrs.reserve(fleet.slots().size());
-  for (const auto& t : fleet.slots()) worker_ptrs.push_back(t.get());
-  fl::TransportDispatcher dispatcher(std::move(worker_ptrs), dispatch_config);
-  engine_config.dispatcher = &dispatcher;
+  std::vector<net::Transport*> peer_ptrs;
+  const auto& peer_slots = num_aggs > 0 ? agg_fleet->slots() : fleet->slots();
+  peer_ptrs.reserve(peer_slots.size());
+  for (const auto& t : peer_slots) peer_ptrs.push_back(t.get());
+
+  std::optional<fl::TransportDispatcher> flat_dispatcher;
+  std::optional<hier::TreeDispatcher> tree_dispatcher;
+  if (num_aggs > 0) {
+    hier::TreeDispatcherConfig tree_config;
+    tree_config.work = work;
+    tree_config.num_workers = num_workers;
+    tree_config.send_timeout_ms = io_timeout_ms;
+    tree_config.recv_timeout_ms = io_timeout_ms;
+    tree_config.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    tree_config.max_update_norm = engine_config.max_update_norm;
+    if (obs::trace_enabled()) tree_config.on_trace_shard = collect_shard;
+    if (status_port >= 0) tree_config.status_board = &status_board;
+    if (live_tracker) tree_config.on_liveness = on_liveness;
+    tree_dispatcher.emplace(std::move(peer_ptrs), std::move(tree_config));
+    engine_config.dispatcher = &*tree_dispatcher;
+  } else {
+    flat_dispatcher.emplace(std::move(peer_ptrs), dispatch_config);
+    engine_config.dispatcher = &*flat_dispatcher;
+  }
   engine_config.stop_requested = [] { return g_stop != 0; };
 
   // Checkpoint cadence: persist every Nth round, plus the final round and
@@ -518,20 +748,25 @@ int main(int argc, char** argv) try {
     report.trace.trace_id = obs::process_trace_id();
     report.trace.round = static_cast<std::int64_t>(history.records().size());
   }
-  for (const auto& t : fleet.slots()) {
+  for (const auto& t : peer_slots) {
     if (!t) continue;
     t->send(net::encode_eval_report(report), io_timeout_ms);
     t->send(net::encode_shutdown(), io_timeout_ms);
   }
   if (obs::trace_enabled()) {
-    // Drain the final TraceShard each worker ships in response to the
-    // traced EvalReport; late heartbeats are skipped, anything else ends
-    // that worker's drain.
-    for (const auto& t : fleet.slots()) {
+    // Drain the final TraceShards shipped in response to the traced
+    // EvalReport: one per worker in flat mode, the whole relayed subtree
+    // per aggregator in tree mode. Late heartbeats are skipped; Closed (or
+    // the shard quota) ends that peer's drain.
+    const std::size_t shards_per_peer =
+        num_aggs > 0 ? num_workers / num_aggs : 1;
+    for (const auto& t : peer_slots) {
       if (!t) continue;
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(3000);
-      while (std::chrono::steady_clock::now() < deadline) {
+      std::size_t collected = 0;
+      while (collected < shards_per_peer &&
+             std::chrono::steady_clock::now() < deadline) {
         net::Frame frame;
         const auto status = t->recv(&frame, 250);
         if (status == net::TransportStatus::Closed) break;
@@ -543,7 +778,8 @@ int main(int argc, char** argv) try {
             std::fprintf(stderr, "discarding bad trace shard: %s\n",
                          e.what());
           }
-          break;
+          ++collected;
+          continue;
         }
         if (frame.type != net::MessageType::Heartbeat) break;
       }
@@ -558,6 +794,10 @@ int main(int argc, char** argv) try {
   Table summary({"metric", "value"});
   summary.add_row({"strategy", selector->name()});
   summary.add_row({"workers", std::to_string(num_workers)});
+  if (num_aggs > 0) summary.add_row({"aggs", std::to_string(num_aggs)});
+  if (agg_groups > 0) {
+    summary.add_row({"agg_groups", std::to_string(agg_groups)});
+  }
   summary.add_row({"rounds_completed", std::to_string(history.records().size())});
   summary.add_row({"final_accuracy", Table::num(history.final_accuracy(), 4)});
   summary.add_row({"best_accuracy", Table::num(history.best_accuracy(), 4)});
@@ -587,7 +827,10 @@ int main(int argc, char** argv) try {
   if (!summary_json.empty()) {
     obs::JsonObject o;
     o.field("strategy", selector->name())
+        .field("tier", tier)
         .field("workers", num_workers)
+        .field("aggs", num_aggs)
+        .field("agg_groups", agg_groups)
         .field("rounds", engine_config.rounds)
         .field("rounds_completed", history.records().size())
         .field("resumed", resume_state.has_value())

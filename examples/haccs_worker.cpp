@@ -70,24 +70,6 @@ void print_usage() {
       "exit codes: 0 shutdown, 1 error, 3 connect exhausted, 4 idle timeout");
 }
 
-/// Polls `path` until it holds a port number (the server writes it after
-/// binding — the normal race in a scripted 2-process launch).
-std::uint16_t wait_for_port_file(const std::string& path, int timeout_ms) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
-  for (;;) {
-    std::ifstream in(path);
-    int port = 0;
-    if (in && (in >> port) && port > 0 && port <= 65535) {
-      return static_cast<std::uint16_t>(port);
-    }
-    if (std::chrono::steady_clock::now() >= deadline) {
-      throw std::runtime_error("timed out waiting for port file " + path);
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -163,7 +145,9 @@ int main(int argc, char** argv) try {
   for (;;) {
     // Re-read the port file every cycle: a server restarted with --resume
     // may have re-bound to a fresh ephemeral port.
-    if (!port_file.empty()) port = wait_for_port_file(port_file, 30000);
+    if (!port_file.empty()) {
+      port = examples::wait_for_port_file(port_file, 30000);
+    }
     auto transport = net::connect_tcp(host, port, net::TcpConnectOptions{});
     bool handshake_ok = false;
     if (transport) {

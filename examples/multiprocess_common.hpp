@@ -7,9 +7,12 @@
 // its local data.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "bench/harness.hpp"
 #include "src/common/rng.hpp"
@@ -42,6 +45,25 @@ inline void write_port_file(const std::string& path, std::uint16_t port) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot publish port file " + path);
+  }
+}
+
+/// Polls `path` until it holds a port number (the upstream process writes
+/// it after binding — the normal race in a scripted multi-process launch).
+inline std::uint16_t wait_for_port_file(const std::string& path,
+                                        int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0 && port <= 65535) {
+      return static_cast<std::uint16_t>(port);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("timed out waiting for port file " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 }
 

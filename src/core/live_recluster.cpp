@@ -1,0 +1,88 @@
+#include "src/core/live_recluster.hpp"
+
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace haccs::core {
+
+LiveClusterTracker::LiveClusterTracker(
+    std::vector<ClientSummary> summaries,
+    std::vector<std::vector<std::size_t>> clients_of_member,
+    HaccsConfig config)
+    : store_(std::make_shared<std::vector<ClientSummary>>()),
+      summaries_(std::move(summaries)),
+      clients_of_member_(std::move(clients_of_member)),
+      config_(std::move(config)),
+      id_of_client_(summaries_.size(), 0),
+      live_(summaries_.size(), false),
+      member_alive_(clients_of_member_.size(), true) {
+  // Callbacks capture the summary store and config by value (not `this`),
+  // mirroring HaccsSelector::recluster_scaled, so the tracker is movable.
+  auto exact = [store = store_, kind = config_.response_distance](
+                   std::size_t i, std::size_t j) {
+    return ClientSummary::distance((*store)[i], (*store)[j], kind);
+  };
+  auto cluster = [config = config_](const clustering::NeighborIndex& index) {
+    return cluster_index(index, config);
+  };
+  clusterer_ = std::make_unique<scale::IncrementalClusterer>(
+      config_.scale.sketch_dim, std::move(exact), std::move(cluster),
+      config_.scale);
+  for (std::size_t c = 0; c < summaries_.size(); ++c) {
+    const auto sketch = summary_embedding(
+        summaries_[c], config_.scale.sketch_dim, config_.scale.seed);
+    const std::size_t id = clusterer_->add_client(sketch);
+    if (store_->size() <= id) store_->resize(id + 1);
+    (*store_)[id] = summaries_[c];
+    id_of_client_[c] = id;
+    live_[c] = true;
+    ++live_count_;
+  }
+  clusterer_->rebuild();
+}
+
+void LiveClusterTracker::on_member(std::size_t member, bool alive) {
+  if (member >= member_alive_.size() || member_alive_[member] == alive) {
+    return;
+  }
+  member_alive_[member] = alive;
+  for (std::size_t c : clients_of_member_[member]) {
+    if (c >= live_.size() || live_[c] == alive) continue;
+    if (alive) {
+      const auto sketch = summary_embedding(
+          summaries_[c], config_.scale.sketch_dim, config_.scale.seed);
+      const std::size_t id = clusterer_->add_client(sketch);
+      if (store_->size() <= id) store_->resize(id + 1);
+      (*store_)[id] = summaries_[c];
+      id_of_client_[c] = id;
+      ++live_count_;
+    } else {
+      clusterer_->remove_client(id_of_client_[c]);
+      --live_count_;
+    }
+    live_[c] = alive;
+  }
+  dirty_ = true;
+}
+
+bool LiveClusterTracker::refresh(HaccsSelector& selector) {
+  if (!dirty_) return false;
+  dirty_ = false;
+  obs::Span span("recluster_live", "clustering");
+  // Honors the §5h dirtiness budget: small churn pays only the interim
+  // nearest-centroid assignment add/remove already performed.
+  clusterer_->recompute_if_dirty();
+  std::vector<int> labels(live_.size(), -1);
+  for (std::size_t c = 0; c < live_.size(); ++c) {
+    if (live_[c]) labels[c] = clusterer_->label_of(id_of_client_[c]);
+  }
+  // Departed clients stay -1: HaccsSelector remaps them to singleton
+  // clusters, so they carry no shared scheduling weight while gone.
+  selector.set_clusters(std::move(labels));
+  obs::Registry::global().counter("recluster_live_total").inc();
+  return true;
+}
+
+}  // namespace haccs::core

@@ -1,0 +1,70 @@
+// Live join/leave re-clustering for serving mode (DESIGN.md §5h phase 2).
+//
+// A long-lived federation's population is not static: workers crash, shed,
+// and reconnect (§5g serving mode, §5j slow-peer shedding), and each edge
+// takes a whole slice of clients with it. This tracker keeps the HACCS
+// cluster structure honest against the LIVE population: every liveness edge
+// from the dispatcher (worker or aggregator granularity) marks that member's
+// hosted clients as departed or rejoined in a scale::IncrementalClusterer,
+// and the next refresh() re-clusters the survivors and pushes the new
+// labels into the selector. Departed clients fall back to singleton
+// clusters (label -1 → HaccsSelector's noise remap), so scheduling weight
+// redistributes to the distributions that are actually reachable.
+//
+// Cost model is the §5h incremental contract: below the dirtiness threshold
+// a membership change pays only a nearest-centroid assignment; above it,
+// the affected shards re-cluster and the merge refreshes. The exposed
+// `recluster_live_total` counter counts label pushes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/core/haccs_config.hpp"
+#include "src/core/haccs_selector.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/scale/incremental.hpp"
+
+namespace haccs::core {
+
+class LiveClusterTracker {
+ public:
+  /// `summaries` are the collected client summaries, indexed by client id.
+  /// `clients_of_member` maps each liveness-edge member (a worker in flat
+  /// serving, an aggregator subtree in tree mode) to the client ids it
+  /// hosts. All members start alive.
+  LiveClusterTracker(std::vector<ClientSummary> summaries,
+                     std::vector<std::vector<std::size_t>> clients_of_member,
+                     HaccsConfig config);
+
+  /// Liveness edge from the dispatcher (on_liveness): member `m` died or
+  /// came back. Idempotent per state; cheap — the re-cluster itself is
+  /// deferred to refresh().
+  void on_member(std::size_t member, bool alive);
+
+  /// Re-clusters the live population and pushes fresh labels into
+  /// `selector` iff membership changed since the last refresh. Returns
+  /// whether labels were pushed (each push bumps recluster_live_total).
+  bool refresh(HaccsSelector& selector);
+
+  std::size_t live_clients() const { return live_count_; }
+  std::size_t num_clients() const { return live_.size(); }
+  const scale::IncrementalClusterer& clusterer() const { return *clusterer_; }
+
+ private:
+  /// Summaries keyed by CLUSTERER id (ids are recycled; the clusterer's
+  /// exact-distance callback captures this store by shared_ptr).
+  std::shared_ptr<std::vector<ClientSummary>> store_;
+  std::vector<ClientSummary> summaries_;  ///< keyed by client id, immutable
+  std::vector<std::vector<std::size_t>> clients_of_member_;
+  HaccsConfig config_;
+  std::unique_ptr<scale::IncrementalClusterer> clusterer_;
+  std::vector<std::size_t> id_of_client_;  ///< valid while live_[c]
+  std::vector<bool> live_;
+  std::vector<bool> member_alive_;
+  std::size_t live_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace haccs::core

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/threadpool.hpp"
+#include "src/fl/engine.hpp"
 #include "src/fl/fedprox.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
@@ -55,6 +56,19 @@ TrainOutcome run_local_job(const TrainJobSpec& job,
   out.delivered = true;
   train_ms.observe(client_clock.lap_ms());
   return out;
+}
+
+bool fold_into_partial(PartialAggregate& agg, std::span<const float> updated,
+                       std::span<const float> global_params, double weight,
+                       double max_update_norm) {
+  std::vector<float> delta(updated.size());
+  vec::diff(delta, updated, global_params);
+  if (!update_is_valid(delta, max_update_norm)) return false;
+  if (agg.sum.empty()) agg.sum.assign(global_params.size(), 0.0);
+  vec::accumulate_scaled(agg.sum, updated, weight);
+  agg.weight += weight;
+  ++agg.updates;
+  return true;
 }
 
 InProcessDispatcher::InProcessDispatcher(

@@ -45,11 +45,43 @@ struct TrainOutcome {
   /// failure (never happens in-process); `failure` says which kind.
   bool delivered = false;
   FailureKind failure = FailureKind::Crash;
+  /// True when the dispatcher already folded this update into a
+  /// PartialAggregate (grouped / hierarchical aggregation, §5j): `updated`
+  /// is then empty and the engine does bookkeeping only. Pre-aggregated
+  /// updates were validated downstream with the engine's exact arithmetic;
+  /// gradient-delta selector reports and engine-side post-receipt fault
+  /// corruption are unsupported on this path.
+  bool pre_aggregated = false;
   /// Updated parameters (post-compression reconstruction), same length as
-  /// the global vector.
+  /// the global vector. Empty when pre_aggregated.
   std::vector<float> updated;
+  /// FedAvg weight from the wire (sample count). Transport dispatchers fill
+  /// it for the grouped fold; the engine keeps pricing weights from its own
+  /// dataset, so the two are cross-checked, never mixed.
+  double weight = 0.0;
   LocalTrainResult result;
 };
+
+/// One group's weighted running sum — the unit hierarchical FedAvg ships
+/// upstream (DESIGN.md §5j). `sum` is Σ weight_i · updated_i accumulated in
+/// f64 with vec::accumulate_scaled, i.e. the engine's own FedAvg loop
+/// restricted to the group's slots in slot order. Weights are integer
+/// sample counts, so `weight` is exact in f64 and the total is independent
+/// of how clients were grouped.
+struct PartialAggregate {
+  std::vector<double> sum;
+  double weight = 0.0;
+  std::size_t updates = 0;
+};
+
+/// Folds one reconstructed update into `agg` with the engine's exact
+/// aggregation arithmetic (diff → norm validation → accumulate_scaled).
+/// Returns false when the delta fails `update_is_valid(max_update_norm)`
+/// — the caller maps that onto the same rejected-update accounting the
+/// engine's own validation uses. `agg.sum` is lazily sized on first fold.
+bool fold_into_partial(PartialAggregate& agg, std::span<const float> updated,
+                       std::span<const float> global_params, double weight,
+                       double max_update_norm);
 
 /// Executes one round's jobs. `outcomes` is pre-sized to the round's
 /// dispatch count; implementations fill outcomes[job.slot] for every job
@@ -60,6 +92,16 @@ class RoundDispatcher {
   virtual void execute(std::span<const TrainJobSpec> jobs,
                        const std::vector<float>& global_params,
                        std::vector<TrainOutcome>& outcomes) = 0;
+
+  /// Non-null when this dispatcher pre-aggregates: the last execute()'s
+  /// per-group partial sums, in group order. The engine folds them into
+  /// its accumulator in that order — for any grouping, the per-element add
+  /// sequence is then identical to a flat dispatcher using the same groups,
+  /// which is what makes hierarchical and flat grouped FedAvg bit-identical
+  /// (§5j). Classic dispatchers return nullptr and are untouched.
+  virtual const std::vector<PartialAggregate>* partials() const {
+    return nullptr;
+  }
 };
 
 /// The local-training recipe a dispatcher (or remote worker) needs; a

@@ -455,6 +455,22 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
           continue;
         }
         ++arrived_updates;
+        if (outcome.pre_aggregated) {
+          // Already folded into the dispatcher's partial sums (§5j) with
+          // the engine's exact diff/validate/accumulate arithmetic — only
+          // the per-slot bookkeeping remains here. The weighted sums merge
+          // after this loop; total_weight still prices from the engine's
+          // own dataset so the partials' weights can be cross-checked.
+          observed_times.push_back(eff_latency[i]);
+          const auto weight =
+              static_cast<double>(dataset_.clients[id].train.size());
+          total_weight += weight;
+          view[id].last_loss = outcome.result.average_loss;
+          breakers[id].record_success();
+          selector.report_result(id, outcome.result.average_loss, epoch);
+          record.selected.push_back(id);
+          continue;
+        }
         std::vector<float> updated = std::move(outcome.updated);
         if (faults[i].kind == sim::FaultKind::Corruption) {
           // Wire-level corruption: mangle the delta the server receives
@@ -492,6 +508,26 @@ TrainingHistory FederatedTrainer::run(ClientSelector& selector,
         selector.report_result(id, outcome.result.average_loss, epoch);
         selector.report_update(id, delta, epoch);
         record.selected.push_back(id);
+      }
+      if (const std::vector<PartialAggregate>* parts = dispatcher->partials()) {
+        // Grouped / hierarchical aggregation: merge the per-group partial
+        // sums into the accumulator in group order. Per element this is the
+        // identical f64 add sequence no matter which tier performed the
+        // group folds, so tree and flat grouped runs converge bitwise.
+        double partial_weight = 0.0;
+        for (const PartialAggregate& part : *parts) {
+          partial_weight += part.weight;
+          if (part.sum.empty()) continue;
+          HACCS_CHECK_MSG(part.sum.size() == accumulated.size(),
+                          "partial aggregate has wrong parameter count");
+          for (std::size_t p = 0; p < accumulated.size(); ++p) {
+            accumulated[p] += part.sum[p];
+          }
+        }
+        // Integer sample-count weights sum exactly in f64, so any mismatch
+        // is a real bookkeeping bug, not rounding.
+        HACCS_CHECK_MSG(partial_weight == total_weight,
+                        "partial aggregate weights disagree with the engine");
       }
       if (total_weight > 0.0) {
         for (std::size_t p = 0; p < global_params.size(); ++p) {

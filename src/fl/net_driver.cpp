@@ -65,6 +65,7 @@ std::string ServingStatusBoard::to_json() const {
     out += ",\"outstanding\":" + std::to_string(worker.outstanding.load());
     out += ",\"updates\":" + std::to_string(worker.updates.load());
     out += ",\"sessions\":" + std::to_string(worker.sessions.load());
+    out += ",\"queued\":" + std::to_string(worker.queued.load());
     out += ",\"last_heard_age_ms\":" +
            std::to_string(heard < 0 ? -1 : now - heard);
     out += '}';
@@ -86,8 +87,49 @@ TransportDispatcher::TransportDispatcher(std::vector<net::Transport*> workers,
     throw std::invalid_argument(
         "TransportDispatcher: quorum_fraction must be in (0, 1]");
   }
+  if (config_.agg_groups > 0 &&
+      (config_.agg_groups > workers_.size() ||
+       workers_.size() % config_.agg_groups != 0)) {
+    throw std::invalid_argument(
+        "TransportDispatcher: agg_groups must evenly divide the worker count");
+  }
   outstanding_.resize(workers_.size());
   dead_.assign(workers_.size(), false);
+}
+
+void TransportDispatcher::set_dead(std::size_t w, bool dead) {
+  if (dead_[w] == dead) return;
+  dead_[w] = dead;
+  if (config_.on_liveness) config_.on_liveness(w, !dead);
+}
+
+std::size_t TransportDispatcher::group_of(std::size_t client_id) const {
+  return (client_id % workers_.size()) /
+         (workers_.size() / config_.agg_groups);
+}
+
+void TransportDispatcher::fold_groups(std::span<const TrainJobSpec> jobs,
+                                      const std::vector<float>& global_params,
+                                      std::vector<TrainOutcome>& outcomes) {
+  partials_.assign(config_.agg_groups, PartialAggregate{});
+  // Jobs are already in slot order, so each group's fold visits its slots
+  // in the same order a mid-tier aggregator would (its SelectNotice lists
+  // the subtree's clients in slot order) — the bit-identity invariant.
+  for (const TrainJobSpec& job : jobs) {
+    TrainOutcome& out = outcomes[job.slot];
+    if (!out.delivered || out.updated.empty()) continue;
+    PartialAggregate& part = partials_[group_of(job.client_id)];
+    if (fold_into_partial(part, out.updated, global_params, out.weight,
+                          config_.max_update_norm)) {
+      out.pre_aggregated = true;
+    } else {
+      // Identical accounting to the engine's own validation rejection.
+      out.delivered = false;
+      out.failure = FailureKind::CorruptUpdate;
+    }
+    out.updated.clear();
+    out.updated.shrink_to_fit();
+  }
 }
 
 void TransportDispatcher::sync_board(std::size_t w) {
@@ -185,6 +227,7 @@ bool TransportDispatcher::handle_frame(std::size_t w, const net::Frame& frame,
   }
   out.delivered = true;
   out.updated = std::move(updated);
+  out.weight = static_cast<double>(msg.sample_count);
   out.result.average_loss = msg.average_loss;
   out.result.final_loss = msg.final_loss;
   out.result.batches = static_cast<std::size_t>(msg.batches);
@@ -232,7 +275,7 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
       if (!dead_[w]) continue;
       if (net::Transport* fresh = config_.reacquire(w)) {
         workers_[w] = fresh;
-        dead_[w] = false;
+        set_dead(w, false);
         ServingMetrics::get().reconnects.inc();
         if (ServingStatusBoard* board = config_.status_board) {
           board->worker(w).sessions.fetch_add(1, std::memory_order_relaxed);
@@ -288,7 +331,7 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
       outstanding_[w].push_back(j);
       sync_board(w);
     } else {
-      if (status == net::TransportStatus::Closed) dead_[w] = true;
+      if (status == net::TransportStatus::Closed) set_dead(w, true);
       TrainOutcome& out = outcomes[job.slot];
       out.delivered = false;
       out.failure = status == net::TransportStatus::Timeout
@@ -319,6 +362,8 @@ void TransportDispatcher::execute(std::span<const TrainJobSpec> jobs,
   } else {
     collect_serial(jobs, global_params, outcomes);
   }
+
+  if (config_.agg_groups > 0) fold_groups(jobs, global_params, outcomes);
 
   if (ServingStatusBoard* board = config_.status_board) {
     board->collecting.store(false, std::memory_order_relaxed);
@@ -444,7 +489,7 @@ void TransportDispatcher::collect_serving(
           HACCS_WARN << "transport to " << workers_[w]->peer() << " closed; "
                      << outstanding_[w].size() << " job(s) abandoned";
           fail_all(w, FailureKind::Crash, outcomes);
-          dead_[w] = true;
+          set_dead(w, true);
           sync_board(w);
           break;
         case net::TransportStatus::Timeout:
@@ -456,7 +501,7 @@ void TransportDispatcher::collect_serving(
                        << " ms; declaring dead, "
                        << outstanding_[w].size() << " job(s) abandoned";
             fail_all(w, FailureKind::Crash, outcomes);
-            dead_[w] = true;
+            set_dead(w, true);
             sync_board(w);
           }
           break;

@@ -65,6 +65,11 @@ class ServingStatusBoard {
     std::atomic<std::uint64_t> outstanding{0};
     std::atomic<std::uint64_t> updates{0};  ///< delivered updates, lifetime
     std::atomic<std::uint64_t> sessions{0}; ///< reacquired transports
+    /// Outstanding-frame depth toward this peer (outbound frames queued
+    /// behind a slow connection) — the backpressure gauge §5j's fan-in
+    /// server enforces its shedding cap against. Blocking transports leave
+    /// it 0; the mid-tier aggregator mirrors FanInServer::outbound_queued.
+    std::atomic<std::uint64_t> queued{0};
   };
 
   explicit ServingStatusBoard(std::size_t num_workers)
@@ -117,6 +122,21 @@ struct TransportDispatcherConfig {
   std::function<void(net::TraceShardMsg&&)> on_trace_shard;
   /// Live-status mirror for /status; non-owning, may be null (default).
   ServingStatusBoard* status_board = nullptr;
+  /// Liveness edge callback: fired with (worker, alive=false) when a worker
+  /// is declared dead and (worker, alive=true) when a reacquired transport
+  /// brings it back. Called from the dispatcher's (engine) thread. Feeds
+  /// the live re-cluster path (§5h phase 2). Unset = no callbacks.
+  std::function<void(std::size_t, bool)> on_liveness;
+  /// Grouped aggregation (§5j): > 0 folds delivered updates into this many
+  /// per-group PartialAggregates (group of a client = its worker's
+  /// contiguous aggregator slice; workers.size() must divide evenly) instead
+  /// of returning raw updates to the engine. A flat run with agg_groups == A
+  /// aggregates bit-identically to an A-aggregator tree run — the
+  /// byte-equality baseline. 0 (default) leaves the classic path untouched.
+  std::size_t agg_groups = 0;
+  /// Update-norm validation threshold for the grouped fold — must match
+  /// EngineConfig::max_update_norm so rejection decisions are identical.
+  double max_update_norm = 0.0;
 };
 
 /// Server side: ships TrainJob frames, collects ClientUpdate frames.
@@ -129,6 +149,10 @@ class TransportDispatcher final : public RoundDispatcher {
   void execute(std::span<const TrainJobSpec> jobs,
                const std::vector<float>& global_params,
                std::vector<TrainOutcome>& outcomes) override;
+
+  const std::vector<PartialAggregate>* partials() const override {
+    return config_.agg_groups > 0 ? &partials_ : nullptr;
+  }
 
  private:
   bool serving_enabled() const {
@@ -164,6 +188,18 @@ class TransportDispatcher final : public RoundDispatcher {
                        const std::vector<float>& global_params,
                        std::vector<TrainOutcome>& outcomes);
 
+  /// Grouped post-collection fold (§5j): walks the round's jobs in slot
+  /// order and folds each delivered update into its group's partial with
+  /// the engine's exact arithmetic; validation rejects become undelivered
+  /// CorruptUpdate outcomes, the same accounting the engine's own
+  /// validation produces.
+  void fold_groups(std::span<const TrainJobSpec> jobs,
+                   const std::vector<float>& global_params,
+                   std::vector<TrainOutcome>& outcomes);
+  std::size_t group_of(std::size_t client_id) const;
+  /// Flips dead_[w] and fires the on_liveness edge callback on change.
+  void set_dead(std::size_t w, bool dead);
+
   std::vector<net::Transport*> workers_;
   TransportDispatcherConfig config_;
   /// Outstanding job indices (into the execute() jobs span) per worker, in
@@ -171,6 +207,8 @@ class TransportDispatcher final : public RoundDispatcher {
   std::vector<std::deque<std::size_t>> outstanding_;
   /// Workers whose transport returned Closed; candidates for reacquire.
   std::vector<bool> dead_;
+  /// Per-group partial sums from the last execute() (agg_groups mode).
+  std::vector<PartialAggregate> partials_;
 };
 
 /// Why a WorkerLoop::serve() call returned.

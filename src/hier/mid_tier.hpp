@@ -1,0 +1,165 @@
+// MidTierAggregator: the middle tier of the hierarchical aggregation tree
+// (DESIGN.md §5j).
+//
+// One aggregator process fronts a contiguous slice of the federation's
+// workers. Downstream it runs a FanInServer (poll/epoll multiplexing, one
+// socket per worker, per-connection buffering and backpressure); upstream it
+// speaks the same framed protocol to the root over a single Transport:
+//
+//   * handshake — collect Hello + Summary frames from every subtree worker,
+//     then announce the subtree with TopologyHello and relay the summaries.
+//   * rounds — the root's SelectNotice opens a round and fixes the fold
+//     order (the subtree's clients in slot order); TrainJob frames are
+//     relayed verbatim to the owning worker (client_id % num_workers);
+//     ClientUpdates are folded into ONE weighted partial sum with the
+//     engine's exact arithmetic (fold_into_partial), out-of-order arrivals
+//     stashed until the fold frontier reaches them.
+//   * settle — the partial sum goes upstream as bounded SubtreeChunk frames
+//     followed by a SubtreeUpdate trailer carrying per-client stats, so the
+//     root's engine keeps its normal bookkeeping without the raw updates.
+//
+// Failure mapping mirrors the flat dispatcher exactly: a dead worker fails
+// its pending clients as Crash, a corrupt frame fails the oldest
+// outstanding client as CorruptUpdate, the round deadline fails stragglers
+// as Timeout — so the root cannot tell a tree run's failures from a flat
+// run's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fl/dispatch.hpp"
+#include "src/fl/net_driver.hpp"
+#include "src/net/fanin.hpp"
+#include "src/net/messages.hpp"
+#include "src/net/transport.hpp"
+
+namespace haccs::hier {
+
+struct MidTierConfig {
+  std::uint32_t agg_id = 0;
+  std::uint32_t num_aggs = 1;
+  /// Federation-wide worker count; this aggregator fronts the contiguous
+  /// slice [agg_id * per, (agg_id + 1) * per) with per = num_workers /
+  /// num_aggs (num_aggs must divide num_workers).
+  std::uint32_t num_workers = 1;
+  /// f64 elements per SubtreeChunk — bounds the root's per-peer buffering
+  /// to O(chunk_params × aggregators) instead of O(model × aggregators).
+  std::size_t chunk_params = 16384;
+  /// Update-norm validation threshold; must match EngineConfig's so the
+  /// fold rejects exactly the updates the engine itself would reject.
+  double max_update_norm = 0.0;
+  /// Upstream liveness cadence (0 = no heartbeats).
+  int heartbeat_interval_ms = 0;
+  /// Budget from round open to settle; stragglers fail as Timeout rather
+  /// than wedging the subtree (0 = wait forever).
+  int round_timeout_ms = 30000;
+  /// Budget for the downstream Hello/Summary handshake.
+  int handshake_timeout_ms = 60000;
+  net::FanInOptions fanin;
+  /// Live-status mirror (rows = subtree workers, indexed from 0); the
+  /// `queued` gauge mirrors FanInServer::outbound_queued. May be null.
+  fl::ServingStatusBoard* status_board = nullptr;
+};
+
+struct MidTierStats {
+  std::size_t rounds = 0;            ///< rounds settled upstream
+  std::size_t folded = 0;            ///< updates folded into partials
+  std::size_t rejected = 0;          ///< updates failing norm validation
+  std::size_t worker_failures = 0;   ///< downstream closes/sheds observed
+  std::uint64_t upstream_bytes_sent = 0;
+  std::uint64_t upstream_bytes_received = 0;
+};
+
+class MidTierAggregator {
+ public:
+  explicit MidTierAggregator(const MidTierConfig& config);
+
+  std::uint16_t port() const { return fanin_.port(); }
+  std::uint32_t worker_begin() const { return worker_begin_; }
+  std::uint32_t worker_end() const { return worker_end_; }
+  const MidTierStats& stats() const { return stats_; }
+
+  /// Runs the aggregator to completion: downstream handshake, TopologyHello
+  /// + summary relay, then rounds until the root sends Shutdown (relayed to
+  /// the workers) or the upstream link dies. Returns false on handshake or
+  /// upstream failure.
+  bool run(net::Transport& upstream);
+
+ private:
+  /// One open round, scoped by the root's SelectNotice.
+  struct Round {
+    bool open = false;
+    /// Opened by a TrainJob because the SelectNotice was lost: the expected
+    /// set grows in arrival order and the round settles only on deadline.
+    bool implicit = false;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> expected;  ///< subtree clients, slot order
+    std::unordered_map<std::uint32_t, std::size_t> index_of;
+    std::vector<net::SubtreeClientStat> stats;  ///< parallel to expected
+    std::vector<std::uint8_t> settled;          ///< parallel to expected
+    std::size_t settled_count = 0;
+    /// Fold frontier: updates fold strictly in `expected` order; arrivals
+    /// ahead of the frontier wait in `stash`.
+    std::size_t next_fold = 0;
+    std::unordered_map<std::uint32_t, net::ClientUpdateMsg> stash;
+    fl::PartialAggregate partial;
+    std::vector<float> global;  ///< captured from the round's first TrainJob
+    bool have_global = false;
+    std::int64_t deadline_ms = -1;
+  };
+
+  bool handshake(net::Transport& upstream);
+  /// Returns false when the upstream link is gone.
+  bool handle_upstream(net::Transport& upstream, const net::Frame& frame);
+  void handle_downstream(net::Transport& upstream, const net::FanInEvent& ev);
+  void open_round(const net::SelectNoticeMsg& msg);
+  /// Adds `client_id` to the open round (no-op if present); returns its
+  /// slot index.
+  std::size_t register_client(std::uint32_t client_id);
+  void relay_train_job(const net::Frame& frame);
+  void handle_update(net::ClientUpdateMsg&& msg);
+  /// Folds stashed updates at the frontier, in slot order.
+  void advance_fold();
+  void fold_update(std::size_t index, net::ClientUpdateMsg& msg);
+  void settle_slot(std::size_t index);
+  /// Fails every unsettled client routed to subtree worker `local` (local
+  /// index, 0-based within the slice).
+  void fail_worker_pending(std::size_t local, fl::FailureKind kind);
+  void fail_front(std::size_t local, fl::FailureKind kind);
+  /// Deadline path: fails every client with no stashed update, then folds
+  /// the stash past the failures (fold order stays slot order).
+  void fail_unsettled(fl::FailureKind kind);
+  /// Ships SubtreeChunks + the SubtreeUpdate trailer and clears the round.
+  bool settle_round(net::Transport& upstream);
+  bool send_upstream(net::Transport& upstream, const net::Frame& frame);
+  void broadcast_downstream(const net::Frame& frame);
+  void sync_board(std::size_t local);
+  void note_heard(std::size_t local);
+
+  MidTierConfig config_;
+  std::uint32_t worker_begin_ = 0;
+  std::uint32_t worker_end_ = 0;
+  net::FanInServer fanin_;
+  /// Local worker index -> FanInServer connection id (0 = not connected).
+  std::vector<std::uint64_t> conn_of_worker_;
+  std::unordered_map<std::uint64_t, std::size_t> worker_of_conn_;
+  /// Connections that said Hello but still owe this many Summary frames
+  /// (handshake, or a reconnecting worker re-sending its summaries).
+  std::unordered_map<std::uint64_t, std::size_t> summaries_pending_;
+  /// Unsettled clients per local worker, relay order — the FIFO corrupt
+  /// frames are attributed against (same rule as the flat dispatcher).
+  std::vector<std::deque<std::uint32_t>> pending_;
+  /// Summary frames collected during the handshake, relayed after
+  /// TopologyHello.
+  std::vector<net::Frame> summary_frames_;
+  std::uint32_t total_clients_ = 0;
+  bool handshook_ = false;
+  Round round_;
+  MidTierStats stats_;
+};
+
+}  // namespace haccs::hier

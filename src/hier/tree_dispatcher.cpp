@@ -1,0 +1,424 @@
+#include "src/hier/tree_dispatcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.hpp"
+#include "src/net/wire.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+
+namespace haccs::hier {
+
+namespace {
+
+/// Per-aggregator poll slice while collecting (same cadence as the flat
+/// serving path).
+constexpr int kSliceMs = 10;
+
+/// Chunks stashed per aggregator before the root stops reading from it —
+/// TCP backpressure then holds the data at the sender, which is what bounds
+/// root memory to O(chunk × aggregators).
+constexpr std::size_t kMaxStashChunks = 8;
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TreeMetrics {
+  obs::Counter& chunks =
+      obs::Registry::global().counter("hier_root_chunks_folded_total");
+  obs::Counter& torn =
+      obs::Registry::global().counter("hier_rounds_torn_total");
+  obs::Counter& salvaged =
+      obs::Registry::global().counter("hier_aggs_salvaged_total");
+
+  static TreeMetrics& get() {
+    static TreeMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+TreeDispatcher::TreeDispatcher(std::vector<net::Transport*> aggs,
+                               TreeDispatcherConfig config)
+    : aggs_(std::move(aggs)), config_(std::move(config)) {
+  if (aggs_.empty()) {
+    throw std::invalid_argument("TreeDispatcher: no aggregators");
+  }
+  if (config_.num_workers == 0 ||
+      config_.num_workers % aggs_.size() != 0) {
+    throw std::invalid_argument(
+        "TreeDispatcher: aggregator count must evenly divide num_workers");
+  }
+  dead_.assign(aggs_.size(), false);
+  partials_.assign(1, fl::PartialAggregate{});
+}
+
+std::size_t TreeDispatcher::group_of(std::size_t client_id) const {
+  return (client_id % config_.num_workers) /
+         (config_.num_workers / aggs_.size());
+}
+
+void TreeDispatcher::set_dead(std::size_t a, bool dead) {
+  if (dead_[a] == dead) return;
+  dead_[a] = dead;
+  if (config_.on_liveness) config_.on_liveness(a, !dead);
+  sync_board(a);
+}
+
+void TreeDispatcher::sync_board(std::size_t a) {
+  if (fl::ServingStatusBoard* board = config_.status_board) {
+    if (a < board->num_workers()) {
+      board->worker(a).alive.store(!dead_[a], std::memory_order_relaxed);
+    }
+  }
+}
+
+bool TreeDispatcher::agg_finished(const AggRound& round,
+                                  std::size_t model_size) const {
+  if (!round.trailer) return false;
+  if (round.update.n_chunks == 0) return true;
+  return round.folded_chunks == round.update.n_chunks &&
+         round.folded_upto == model_size;
+}
+
+bool TreeDispatcher::gate_open(const std::vector<AggRound>& rounds,
+                               std::size_t a, std::uint64_t end) const {
+  for (std::size_t p = 0; p < a; ++p) {
+    const AggRound& prev = rounds[p];
+    if (!prev.participating) continue;  // contributes nothing — skip
+    if (prev.trailer && prev.update.n_chunks == 0) continue;
+    if (prev.folded_upto < end) return false;
+  }
+  return true;
+}
+
+void TreeDispatcher::try_fold(std::vector<AggRound>& rounds,
+                              std::vector<double>& acc) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t a = 0; a < rounds.size(); ++a) {
+      AggRound& round = rounds[a];
+      if (!round.participating) continue;
+      const auto it = round.stash.find(round.folded_upto);
+      if (it == round.stash.end()) continue;  // next chunk not here yet
+      const std::uint64_t end = round.folded_upto + it->second.size();
+      if (end > acc.size()) {
+        HACCS_WARN << "tree: agg " << a << " chunk overruns the model ("
+                   << end << " > " << acc.size() << ") — dropped";
+        round.stash.erase(it);
+        continue;
+      }
+      if (!gate_open(rounds, a, end)) continue;
+      const std::vector<double>& data = it->second;
+      for (std::size_t k = 0; k < data.size(); ++k) {
+        acc[round.folded_upto + k] += data[k];
+      }
+      round.folded_upto = end;
+      ++round.folded_chunks;
+      round.stash.erase(it);
+      TreeMetrics::get().chunks.inc();
+      progress = true;
+    }
+  }
+}
+
+void TreeDispatcher::execute(std::span<const fl::TrainJobSpec> jobs,
+                             const std::vector<float>& global_params,
+                             std::vector<fl::TrainOutcome>& outcomes) {
+  const std::size_t num_aggs = aggs_.size();
+  const std::uint64_t epoch = jobs.empty() ? 0 : jobs.front().epoch;
+  partials_.assign(1, fl::PartialAggregate{});
+  std::vector<AggRound> rounds(num_aggs);
+
+  if (fl::ServingStatusBoard* board = config_.status_board) {
+    board->round.store(epoch, std::memory_order_relaxed);
+    board->dispatched.store(jobs.size(), std::memory_order_relaxed);
+    board->delivered.store(0, std::memory_order_relaxed);
+    board->collecting.store(true, std::memory_order_relaxed);
+    for (std::size_t a = 0; a < num_aggs; ++a) sync_board(a);
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    rounds[group_of(jobs[j].client_id)].job_indices.push_back(j);
+  }
+
+  auto fail_agg_jobs = [&](std::size_t a, fl::FailureKind kind) {
+    for (const std::size_t j : rounds[a].job_indices) {
+      fl::TrainOutcome& out = outcomes[jobs[j].slot];
+      if (out.delivered || out.pre_aggregated) continue;
+      out.delivered = false;
+      out.failure = kind;
+    }
+  };
+
+  const obs::TraceContext trace_ctx =
+      obs::trace_enabled() ? obs::round_context() : obs::TraceContext{};
+
+  // Fan-out: SelectNotice scopes the subtree round (and fixes the fold
+  // order), then the TrainJobs follow in slot order down the same link.
+  for (std::size_t a = 0; a < num_aggs; ++a) {
+    AggRound& round = rounds[a];
+    if (round.job_indices.empty()) continue;
+    if (dead_[a]) {
+      fail_agg_jobs(a, fl::FailureKind::Crash);
+      continue;
+    }
+    net::SelectNoticeMsg notice;
+    notice.epoch = epoch;
+    for (const std::size_t j : round.job_indices) {
+      notice.clients.push_back(static_cast<std::uint32_t>(jobs[j].client_id));
+    }
+    const auto status = aggs_[a]->send(net::encode_select_notice(notice),
+                                       config_.send_timeout_ms);
+    if (status != net::TransportStatus::Ok) {
+      if (status == net::TransportStatus::Closed) set_dead(a, true);
+      fail_agg_jobs(a, status == net::TransportStatus::Timeout
+                           ? fl::FailureKind::Timeout
+                           : fl::FailureKind::Crash);
+      continue;
+    }
+    bool alive = true;
+    for (const std::size_t j : round.job_indices) {
+      const fl::TrainJobSpec& job = jobs[j];
+      net::TrainJobMsg msg;
+      msg.epoch = job.epoch;
+      msg.client_id = static_cast<std::uint32_t>(job.client_id);
+      msg.rng_seed = job.rng_seed;
+      msg.algorithm = config_.work.fedprox ? 1 : 0;
+      msg.fedprox_mu = config_.work.fedprox_mu;
+      msg.work_fraction = job.work_fraction;
+      msg.local_epochs = config_.work.local.epochs;
+      msg.batch_size = config_.work.local.batch_size;
+      msg.learning_rate = config_.work.local.sgd.learning_rate;
+      msg.momentum = config_.work.local.sgd.momentum;
+      msg.weight_decay = config_.work.local.sgd.weight_decay;
+      msg.compression_kind =
+          static_cast<std::uint8_t>(config_.work.compression.kind);
+      msg.topk_fraction = config_.work.compression.topk_fraction;
+      msg.error_feedback = config_.work.compression.error_feedback ? 1 : 0;
+      msg.params = global_params;
+      msg.trace = trace_ctx;
+      const auto js =
+          aggs_[a]->send(net::encode_train_job(msg), config_.send_timeout_ms);
+      if (js != net::TransportStatus::Ok) {
+        if (js == net::TransportStatus::Closed) set_dead(a, true);
+        fail_agg_jobs(a, js == net::TransportStatus::Timeout
+                             ? fl::FailureKind::Timeout
+                             : fl::FailureKind::Crash);
+        alive = false;
+        break;
+      }
+    }
+    round.participating = alive;
+  }
+
+  // Collection: fold gated chunks as they arrive.
+  std::vector<double> acc(global_params.size(), 0.0);
+  const std::int64_t start = steady_ms();
+  std::vector<std::int64_t> last_heard(num_aggs, start);
+  bool torn = false;
+
+  auto all_done = [&] {
+    for (std::size_t a = 0; a < num_aggs; ++a) {
+      if (rounds[a].participating &&
+          !agg_finished(rounds[a], global_params.size())) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto drop_agg = [&](std::size_t a, fl::FailureKind kind) {
+    AggRound& round = rounds[a];
+    if (round.folded_upto > 0 || round.folded_chunks > 0) {
+      // Its partial sum is already mixed into the shared accumulator and
+      // cannot be unfolded — the whole round tears.
+      torn = true;
+      return;
+    }
+    // Salvage: nothing folded, so this subtree simply contributed nothing —
+    // bitwise the flat run with those workers dead.
+    round.participating = false;
+    round.trailer = false;
+    round.stash.clear();
+    fail_agg_jobs(a, kind);
+    TreeMetrics::get().salvaged.inc();
+  };
+
+  while (!torn && !all_done()) {
+    const std::int64_t now = steady_ms();
+    if (config_.recv_timeout_ms >= 0 &&
+        now - start > config_.recv_timeout_ms) {
+      HACCS_WARN << "tree: round " << epoch << " collection budget ("
+                 << config_.recv_timeout_ms << " ms) exhausted";
+      for (std::size_t a = 0; a < num_aggs; ++a) {
+        if (rounds[a].participating &&
+            !agg_finished(rounds[a], global_params.size())) {
+          drop_agg(a, fl::FailureKind::Timeout);
+        }
+      }
+      break;
+    }
+    for (std::size_t a = 0; a < num_aggs && !torn; ++a) {
+      AggRound& round = rounds[a];
+      if (!round.participating ||
+          agg_finished(round, global_params.size())) {
+        continue;
+      }
+      if (round.stash.size() >= kMaxStashChunks) {
+        // Ahead of the fold gate: stop reading so TCP holds the bytes at
+        // the sender instead of growing root memory.
+        try_fold(rounds, acc);
+        continue;
+      }
+      net::Frame frame;
+      const auto status = aggs_[a]->recv(&frame, kSliceMs);
+      switch (status) {
+        case net::TransportStatus::Ok: {
+          last_heard[a] = steady_ms();
+          if (fl::ServingStatusBoard* board = config_.status_board) {
+            if (a < board->num_workers()) {
+              board->worker(a).last_heard_ms.store(last_heard[a],
+                                                   std::memory_order_relaxed);
+            }
+          }
+          switch (frame.type) {
+            case net::MessageType::SubtreeChunk:
+              try {
+                auto msg = net::decode_subtree_chunk(frame);
+                if (msg.epoch != epoch) break;  // stale round — drop
+                round.stash.emplace(msg.offset, std::move(msg.data));
+                try_fold(rounds, acc);
+              } catch (const net::WireError& e) {
+                HACCS_WARN << "tree: bad SubtreeChunk from agg " << a << ": "
+                           << e.what();
+              }
+              break;
+            case net::MessageType::SubtreeUpdate:
+              try {
+                auto msg = net::decode_subtree_update(frame);
+                if (msg.epoch != epoch) break;
+                round.update = std::move(msg);
+                round.trailer = true;
+                try_fold(rounds, acc);  // n_chunks == 0 may open gates
+              } catch (const net::WireError& e) {
+                HACCS_WARN << "tree: bad SubtreeUpdate from agg " << a << ": "
+                           << e.what();
+              }
+              break;
+            case net::MessageType::TraceShard:
+              if (config_.on_trace_shard) {
+                try {
+                  config_.on_trace_shard(net::decode_trace_shard(frame));
+                } catch (const net::WireError& e) {
+                  HACCS_WARN << "tree: undecodable TraceShard: " << e.what();
+                }
+              }
+              break;
+            default:
+              break;  // Heartbeat: liveness refreshed above
+          }
+          break;
+        }
+        case net::TransportStatus::Corrupt:
+          // Proof of life, but the frame (possibly a chunk) is gone — the
+          // aggregator can no longer finish; the budget tears the round.
+          last_heard[a] = steady_ms();
+          HACCS_WARN << "tree: corrupt frame from agg " << a;
+          break;
+        case net::TransportStatus::Closed:
+          HACCS_WARN << "tree: agg " << a << " ("
+                     << aggs_[a]->peer() << ") closed";
+          set_dead(a, true);
+          drop_agg(a, fl::FailureKind::Crash);
+          break;
+        case net::TransportStatus::Timeout:
+          if (config_.heartbeat_timeout_ms > 0 &&
+              steady_ms() - last_heard[a] > config_.heartbeat_timeout_ms) {
+            HACCS_WARN << "tree: agg " << a << " silent for > "
+                       << config_.heartbeat_timeout_ms
+                       << " ms; declaring dead";
+            set_dead(a, true);
+            drop_agg(a, fl::FailureKind::Crash);
+          }
+          break;
+      }
+    }
+  }
+
+  if (torn) {
+    // Fail every slot: total weight goes to zero and the engine leaves the
+    // model untouched — a torn round is a no-op, never a half-aggregate.
+    TreeMetrics::get().torn.inc();
+    HACCS_WARN << "tree: round " << epoch
+               << " torn (aggregator lost after contributing); "
+               << jobs.size() << " job(s) failed";
+    for (const fl::TrainJobSpec& job : jobs) {
+      fl::TrainOutcome& out = outcomes[job.slot];
+      out.delivered = false;
+      out.pre_aggregated = false;
+      out.failure = fl::FailureKind::Crash;
+      out.updated.clear();
+    }
+    partials_.assign(1, fl::PartialAggregate{});
+    if (fl::ServingStatusBoard* board = config_.status_board) {
+      board->collecting.store(false, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  // Settle: per-client stats -> outcomes, trailer weights -> the merged
+  // partial. Clients a trailer never mentions keep their default Crash.
+  std::unordered_map<std::uint32_t, std::size_t> job_of_client;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    job_of_client[static_cast<std::uint32_t>(jobs[j].client_id)] = j;
+  }
+  fl::PartialAggregate& merged = partials_[0];
+  for (std::size_t a = 0; a < num_aggs; ++a) {
+    AggRound& round = rounds[a];
+    if (!round.participating || !round.trailer) continue;
+    for (const net::SubtreeClientStat& stat : round.update.stats) {
+      const auto it = job_of_client.find(stat.client_id);
+      if (it == job_of_client.end()) continue;  // not this round's client
+      fl::TrainOutcome& out = outcomes[jobs[it->second].slot];
+      if (stat.delivered) {
+        out.delivered = true;
+        out.pre_aggregated = true;
+        out.weight = static_cast<double>(stat.sample_count);
+        out.result.average_loss = stat.average_loss;
+        out.result.final_loss = stat.final_loss;
+        out.result.batches = static_cast<std::size_t>(stat.batches);
+        ++merged.updates;
+        if (fl::ServingStatusBoard* board = config_.status_board) {
+          board->delivered.fetch_add(1, std::memory_order_relaxed);
+          if (a < board->num_workers()) {
+            board->worker(a).updates.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } else {
+        out.delivered = false;
+        out.failure = stat.failure <=
+                              static_cast<std::uint8_t>(
+                                  fl::FailureKind::CorruptUpdate)
+                          ? static_cast<fl::FailureKind>(stat.failure)
+                          : fl::FailureKind::Crash;
+      }
+    }
+    merged.weight += round.update.weight;
+  }
+  if (merged.updates > 0) merged.sum = std::move(acc);
+
+  if (fl::ServingStatusBoard* board = config_.status_board) {
+    board->collecting.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace haccs::hier

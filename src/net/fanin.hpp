@@ -1,0 +1,151 @@
+// FanInServer: a single-threaded poll/epoll fan-in endpoint (DESIGN.md §5j).
+//
+// The flat serving path dedicates one accepted Transport per worker and
+// blocks on it — fine for a handful of peers, hopeless for the hundreds of
+// connections a mid-tier aggregator fronts. FanInServer multiplexes every
+// downstream connection through one PollGroup (epoll on Linux, poll
+// elsewhere) with per-connection read/write buffering:
+//
+//   * Inbound: each connection owns a FrameParser; decoded frames queue up
+//     to `max_inbound_frames` per peer. At the cap the connection's read
+//     interest is dropped, so backpressure propagates through TCP to the
+//     sender instead of growing server memory.
+//   * Outbound: send() enqueues encoded frames and flushes them as the
+//     socket drains. A peer that falls more than `max_outbound_frames`
+//     behind is shed (connection closed, Closed event emitted) — the
+//     caller escalates exactly like a heartbeat-expired crash.
+//
+// Single-threaded contract: poll(), send(), and close_conn() are called
+// from one thread. Peers are identified by a monotonically increasing
+// connection id, never recycled, so a stale id after a reconnect is simply
+// unknown rather than aliased.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/frame.hpp"
+
+namespace haccs::net {
+
+/// Readiness multiplexer over a set of fds: epoll on __linux__, poll
+/// fallback elsewhere. Level-triggered in both implementations.
+class PollGroup {
+ public:
+  struct Ready {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< POLLERR / POLLHUP / EPOLLERR / EPOLLHUP
+  };
+
+  PollGroup();
+  ~PollGroup();
+  PollGroup(const PollGroup&) = delete;
+  PollGroup& operator=(const PollGroup&) = delete;
+
+  void add(int fd, bool read, bool write);
+  void update(int fd, bool read, bool write);
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills `out` with the ready
+  /// set. Returns the number of ready fds (0 on timeout). EINTR retries.
+  std::size_t wait(std::vector<Ready>& out, int timeout_ms);
+
+  std::size_t size() const { return interest_.size(); }
+
+ private:
+  std::unordered_map<int, short> interest_;  ///< fd -> poll-style mask
+#ifdef __linux__
+  int epoll_fd_ = -1;
+#endif
+};
+
+struct FanInOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 4096;
+  /// Decoded-but-undelivered frames buffered per connection before its
+  /// read interest is dropped (TCP backpressure to the sender).
+  std::size_t max_inbound_frames = 64;
+  /// Queued outbound frames before the peer is shed as too slow.
+  std::size_t max_outbound_frames = 64;
+};
+
+struct FanInEvent {
+  enum class Kind {
+    Accepted,  ///< new connection; `conn` is its id
+    Frame,     ///< one decoded frame from `conn`
+    Closed,    ///< peer hung up, errored, or was shed for slowness
+    Corrupt,   ///< a frame from `conn` failed its CRC (stream still aligned)
+  };
+  Kind kind = Kind::Frame;
+  std::uint64_t conn = 0;
+  Frame frame;         ///< valid for Kind::Frame
+  bool shed = false;   ///< Kind::Closed: true when the server shed the peer
+};
+
+class FanInServer {
+ public:
+  explicit FanInServer(const FanInOptions& options);
+  ~FanInServer();
+  FanInServer(const FanInServer&) = delete;
+  FanInServer& operator=(const FanInServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Pumps accepts and socket I/O, then delivers one event. Returns false
+  /// when nothing happened within `timeout_ms`.
+  bool poll(FanInEvent* out, int timeout_ms);
+
+  /// Queues one frame for `conn`. Returns false when the connection is
+  /// unknown or was just shed for exceeding the outbound cap (a Closed
+  /// event with shed=true is then delivered by the next poll()).
+  bool send(std::uint64_t conn, const Frame& frame);
+
+  /// Closes a connection without emitting a Closed event (caller-driven).
+  void close_conn(std::uint64_t conn);
+
+  std::size_t connection_count() const { return conns_.size(); }
+  /// Outbound frames queued for a peer — the backpressure gauge /status
+  /// and haccs_top report. 0 for unknown connections.
+  std::size_t outbound_queued(std::uint64_t conn) const;
+  /// Decoded frames buffered from a peer but not yet delivered by poll().
+  std::size_t inbound_queued(std::uint64_t conn) const;
+  std::string peer_name(std::uint64_t conn) const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string peer;
+    FrameParser parser;
+    std::deque<std::vector<std::uint8_t>> outbound;
+    std::size_t out_offset = 0;     ///< bytes of outbound.front() written
+    std::size_t undelivered = 0;    ///< decoded frames still in ready_
+    bool read_suppressed = false;
+  };
+
+  void accept_pending();
+  void read_conn(std::uint64_t id, Conn& conn);
+  bool flush_conn(Conn& conn);  ///< false when the connection died
+  void drop_conn(std::uint64_t id, bool emit_closed, bool shed);
+  void sync_interest(Conn& conn);
+  bool pop_ready(FanInEvent* out);
+
+  FanInOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  PollGroup group_;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::unordered_map<int, std::uint64_t> by_fd_;
+  std::deque<FanInEvent> ready_;
+  std::uint64_t next_id_ = 1;
+  std::vector<PollGroup::Ready> scratch_;
+};
+
+}  // namespace haccs::net

@@ -47,6 +47,9 @@ enum class MessageType : std::uint16_t {
   Shutdown = 8,      ///< server -> worker: drain and exit
   Checkpoint = 9,    ///< file frame: nn::serialize parameter checkpoint
   TraceShard = 10,   ///< worker -> server: buffered trace spans (§5i)
+  TopologyHello = 11,  ///< aggregator -> root: subtree handshake (§5j)
+  SubtreeUpdate = 12,  ///< aggregator -> root: partial-FedAvg round trailer
+  SubtreeChunk = 13,   ///< aggregator -> root: one chunk of the partial sum
 };
 
 struct Frame {

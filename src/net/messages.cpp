@@ -380,6 +380,96 @@ TraceShardMsg decode_trace_shard(const Frame& frame) {
   return msg;
 }
 
+Frame encode_topology_hello(const TopologyHelloMsg& msg) {
+  WireWriter w;
+  w.u32(msg.agg_id);
+  w.u32(msg.num_aggs);
+  w.u32(msg.worker_begin);
+  w.u32(msg.worker_end);
+  w.u32(msg.num_clients);
+  return Frame{MessageType::TopologyHello, w.take()};
+}
+
+TopologyHelloMsg decode_topology_hello(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::TopologyHello, "TopologyHello");
+  TopologyHelloMsg msg;
+  msg.agg_id = r.u32();
+  msg.num_aggs = r.u32();
+  msg.worker_begin = r.u32();
+  msg.worker_end = r.u32();
+  msg.num_clients = r.u32();
+  if (msg.worker_end < msg.worker_begin) {
+    throw WireError("decode: topology worker range inverted");
+  }
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_subtree_chunk(const SubtreeChunkMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.u32(msg.agg_id);
+  w.u64(msg.offset);
+  w.f64_array(msg.data);
+  return Frame{MessageType::SubtreeChunk, w.take()};
+}
+
+SubtreeChunkMsg decode_subtree_chunk(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::SubtreeChunk, "SubtreeChunk");
+  SubtreeChunkMsg msg;
+  msg.epoch = r.u64();
+  msg.agg_id = r.u32();
+  msg.offset = r.u64();
+  msg.data = r.f64_array();
+  r.expect_exhausted();
+  return msg;
+}
+
+Frame encode_subtree_update(const SubtreeUpdateMsg& msg) {
+  WireWriter w;
+  w.u64(msg.epoch);
+  w.u32(msg.agg_id);
+  w.f64(msg.weight);
+  w.u64(msg.n_chunks);
+  w.u64(msg.stats.size());
+  for (const SubtreeClientStat& s : msg.stats) {
+    w.u32(s.client_id);
+    w.u8(s.delivered);
+    w.u8(s.failure);
+    w.f64(s.average_loss);
+    w.f64(s.final_loss);
+    w.u64(s.batches);
+    w.u64(s.sample_count);
+  }
+  return Frame{MessageType::SubtreeUpdate, w.take()};
+}
+
+SubtreeUpdateMsg decode_subtree_update(const Frame& frame) {
+  auto r = reader_for(frame, MessageType::SubtreeUpdate, "SubtreeUpdate");
+  SubtreeUpdateMsg msg;
+  msg.epoch = r.u64();
+  msg.agg_id = r.u32();
+  msg.weight = r.f64();
+  msg.n_chunks = r.u64();
+  const std::uint64_t count = r.u64();
+  // Each stat costs 38 fixed bytes on the wire.
+  if (count > r.remaining() / 38) {
+    throw WireError("decode: subtree stat count exceeds payload");
+  }
+  msg.stats.resize(static_cast<std::size_t>(count));
+  for (SubtreeClientStat& s : msg.stats) {
+    s.client_id = r.u32();
+    s.delivered = r.u8();
+    s.failure = r.u8();
+    s.average_loss = r.f64();
+    s.final_loss = r.f64();
+    s.batches = r.u64();
+    s.sample_count = r.u64();
+  }
+  r.expect_exhausted();
+  return msg;
+}
+
 Frame encode_shutdown() { return Frame{MessageType::Shutdown, {}}; }
 
 std::size_t train_job_overhead_bytes() {

@@ -158,6 +158,56 @@ struct TraceShardMsg {
   std::vector<obs::PortableTraceEvent> events;
 };
 
+// ---------------------------------------------------------------------------
+// Hierarchical aggregation messages (DESIGN.md §5j)
+
+/// aggregator -> root, once per connection: which contiguous worker range
+/// this mid-tier node fronts. Followed by the subtree's relayed Summary
+/// frames, exactly like a worker's Hello is followed by its summaries.
+struct TopologyHelloMsg {
+  std::uint32_t agg_id = 0;
+  std::uint32_t num_aggs = 0;
+  std::uint32_t worker_begin = 0;  ///< first worker id in the subtree
+  std::uint32_t worker_end = 0;    ///< one past the last worker id
+  std::uint32_t num_clients = 0;   ///< clients hosted across the subtree
+};
+
+/// aggregator -> root: one fixed-size chunk of the subtree's weighted
+/// partial sum (Σ w_i · updated_i in f64, chunked so the root never buffers
+/// a whole per-peer model — the `allreduce_ring_chunked` idiom). `offset`
+/// is the chunk's first parameter index; chunks arrive in index order per
+/// aggregator.
+struct SubtreeChunkMsg {
+  std::uint64_t epoch = 0;
+  std::uint32_t agg_id = 0;
+  std::uint64_t offset = 0;
+  std::vector<double> data;
+};
+
+/// Per-client training stats forwarded upstream alongside the partial sum,
+/// so the root's engine can do its normal per-slot bookkeeping (losses,
+/// breakers, selector reports) without seeing the raw updates.
+struct SubtreeClientStat {
+  std::uint32_t client_id = 0;
+  std::uint8_t delivered = 0;  ///< 1 = folded into the partial sum
+  std::uint8_t failure = 0;    ///< fl::FailureKind when delivered == 0
+  double average_loss = 0.0;
+  double final_loss = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t sample_count = 0;  ///< the FedAvg weight
+};
+
+/// aggregator -> root: end-of-round trailer after the last SubtreeChunk.
+/// `weight` is Σ sample_count over folded clients — integers, so the sum is
+/// exact in f64 and the root's total weight is grouping-independent.
+struct SubtreeUpdateMsg {
+  std::uint64_t epoch = 0;
+  std::uint32_t agg_id = 0;
+  double weight = 0.0;
+  std::uint64_t n_chunks = 0;  ///< chunks this aggregator sent for the epoch
+  std::vector<SubtreeClientStat> stats;
+};
+
 // Shutdown carries no payload: an empty MessageType::Shutdown frame.
 
 Frame encode_hello(const HelloMsg& msg);
@@ -183,6 +233,15 @@ SummaryMsg decode_summary(const Frame& frame);
 
 Frame encode_trace_shard(const TraceShardMsg& msg);
 TraceShardMsg decode_trace_shard(const Frame& frame);
+
+Frame encode_topology_hello(const TopologyHelloMsg& msg);
+TopologyHelloMsg decode_topology_hello(const Frame& frame);
+
+Frame encode_subtree_chunk(const SubtreeChunkMsg& msg);
+SubtreeChunkMsg decode_subtree_chunk(const Frame& frame);
+
+Frame encode_subtree_update(const SubtreeUpdateMsg& msg);
+SubtreeUpdateMsg decode_subtree_update(const Frame& frame);
 
 Frame encode_shutdown();
 

@@ -279,7 +279,7 @@ std::vector<int> cluster_sharded(const SketchMatrix& sketches,
                                  const ExactDistanceFn& exact,
                                  const ClusterFn& cluster,
                                  const ScaleConfig& config,
-                                 ScaleStats* stats) {
+                                 ScaleStats* stats, ThreadPool* pool) {
   const std::size_t n = sketches.rows();
   if (n == 0) return {};
   const std::size_t shard_size = std::max<std::size_t>(1, config.shard_size);
@@ -297,11 +297,16 @@ std::vector<int> cluster_sharded(const SketchMatrix& sketches,
   // Nested parallelism inside cluster_shard (DistanceMatrix::build,
   // candidate hashing) runs inline on pool workers.
   std::vector<ScaleStats> per_shard(num_shards);
-  parallel_for(0, num_shards, [&](std::size_t s) {
+  const auto shard_task = [&](std::size_t s) {
     shards[s].labels =
         cluster_shard(sketches, shards[s].members, exact, cluster, config,
                       stats != nullptr ? &per_shard[s] : nullptr);
-  });
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, num_shards, shard_task);
+  } else {
+    parallel_for(0, num_shards, shard_task);
+  }
   if (stats != nullptr) {
     stats->shards += num_shards;
     for (const auto& ps : per_shard) stats->accumulate(ps);

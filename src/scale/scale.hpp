@@ -34,6 +34,10 @@
 #include "src/clustering/neighbor_index.hpp"
 #include "src/scale/scale_config.hpp"
 
+namespace haccs {
+class ThreadPool;
+}
+
 namespace haccs::scale {
 
 /// Flat row-major matrix of sketch embeddings, one fixed-width row per
@@ -129,11 +133,15 @@ std::vector<int> merge_shards(const SketchMatrix& sketches,
 /// The full batch pipeline: chunk rows into contiguous shards of
 /// config.shard_size, cluster each in parallel, merge. Equivalent to the
 /// exact path when one shard covers everything and fits the exact cutoff
-/// (pinned by the differential oracle in src/testing).
+/// (pinned by the differential oracle in src/testing). `pool` overrides the
+/// thread pool the per-shard fan-out runs on (null = the process-global
+/// pool) — the bench thread sweep sizes it explicitly; results are
+/// identical at any width, shards being independent.
 std::vector<int> cluster_sharded(const SketchMatrix& sketches,
                                  const ExactDistanceFn& exact,
                                  const ClusterFn& cluster,
                                  const ScaleConfig& config,
-                                 ScaleStats* stats = nullptr);
+                                 ScaleStats* stats = nullptr,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace haccs::scale

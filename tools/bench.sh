@@ -19,8 +19,9 @@
 #   --e2e-only    end-to-end run only (writes BENCH_e2e.json)
 #   --skip-net    skip the wire-protocol benchmarks
 #   --net-only    wire-protocol benchmarks only (writes BENCH_net.json —
-#                 CRC32 throughput plus ClientUpdate encode/decode for each
-#                 compression kind; regenerate when src/net codecs change)
+#                 CRC32 throughput, ClientUpdate encode/decode for each
+#                 compression kind, and the flat-vs-tree round dispatch pair
+#                 (§5j); regenerate when src/net or src/hier changes)
 #   --skip-scale  skip the scale-pipeline benchmarks
 #   --scale-only  scale-pipeline benchmarks only (writes BENCH_scale.json —
 #                 sharded clustering + incremental re-cluster at 10k / 100k /
@@ -40,7 +41,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 out="$repo/BENCH_kernels.json"
 filter='BM_Gemm|BM_Conv2d|BM_MlpTrainStep|BM_Evaluation|BM_FedAvgAccumulate'
-net_filter='BM_Crc32|BM_EncodeUpdate|BM_DecodeUpdate'
+net_filter='BM_Crc32|BM_EncodeUpdate|BM_DecodeUpdate|BM_FlatRoundDispatch|BM_TreeRoundDispatch'
 run_micro=1
 run_e2e=1
 run_net=1

