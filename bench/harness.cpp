@@ -7,6 +7,9 @@
 #include "src/common/logging.hpp"
 #include "src/common/table.hpp"
 #include "src/obs/obs.hpp"
+#include "src/select/dpp.hpp"
+#include "src/select/fedlecc.hpp"
+#include "src/select/hics.hpp"
 
 namespace haccs::bench {
 
@@ -148,6 +151,18 @@ fl::TrainingHistory run_strategy(const std::string& name,
     cfg.summary = stats::SummaryKind::Quantile;
     cfg.initial_loss = engine_config.initial_loss;
     selector = std::make_unique<core::HaccsSelector>(fed, cfg);
+  } else if (name == "DPP") {
+    select::DppConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::DppSelector>(fed, cfg);
+  } else if (name == "FedLECC") {
+    select::FedLeccConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::FedLeccSelector>(fed, cfg);
+  } else if (name == "HiCS") {
+    select::HicsConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::HicsSelector>(fed, cfg);
   } else {
     throw std::invalid_argument("unknown strategy: " + name);
   }

@@ -56,6 +56,9 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/trace.hpp"
+#include "src/select/dpp.hpp"
+#include "src/select/fedlecc.hpp"
+#include "src/select/hics.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/stats/summary_codec.hpp"
 
@@ -70,7 +73,8 @@ void print_usage() {
       "  --workers=N          worker processes to wait for (default 1)\n"
       "  --port=P             listen port; 0 = ephemeral (default 4242)\n"
       "  --port-file=F        write the resolved port to F (for launchers)\n"
-      "  --strategy=S         random|haccs-py (default haccs-py)\n"
+      "  --strategy=S         random|haccs-py|dpp|fedlecc|hics "
+      "(default haccs-py)\n"
       "  --rho=R              Eq. 7 trade-off (default 0.5)\n"
       "  --accept-timeout-ms=T  per-worker accept deadline (default 30000)\n"
       "  --io-timeout-ms=T    per-frame send/recv deadline (default 120000)\n"
@@ -548,8 +552,49 @@ int main(int argc, char** argv) try {
     num_clusters = haccs_selector->num_clusters();
     haccs_selector_ptr = haccs_selector.get();
     selector = std::move(haccs_selector);
+  } else if (strategy == "dpp" || strategy == "fedlecc" ||
+             strategy == "hics") {
+    if (!all_summaries) {
+      std::fprintf(stderr,
+                   "missing client summaries — check each worker's "
+                   "--worker-id/--workers against --workers here\n");
+      return 1;
+    }
+    // These selectors key off each client's label histogram, which is
+    // exactly the wire-borne P(y) response summary.
+    std::vector<std::vector<double>> label_counts;
+    label_counts.reserve(wire_summaries.size());
+    for (const auto& s : wire_summaries) {
+      if (s.kind != stats::SummaryKind::Response) {
+        std::fprintf(stderr,
+                     "--strategy=%s needs response (P(y)) summaries\n",
+                     strategy.c_str());
+        return 1;
+      }
+      const auto counts = s.response.label_counts.counts();
+      label_counts.emplace_back(counts.begin(), counts.end());
+    }
+    if (strategy == "dpp") {
+      select::DppConfig cfg;
+      cfg.initial_loss = engine_config.initial_loss;
+      selector = std::make_unique<select::DppSelector>(std::move(label_counts),
+                                                       cfg);
+    } else if (strategy == "fedlecc") {
+      select::FedLeccConfig cfg;
+      cfg.initial_loss = engine_config.initial_loss;
+      auto fedlecc = std::make_unique<select::FedLeccSelector>(
+          std::move(label_counts), cfg);
+      num_clusters = fedlecc->num_clusters();
+      selector = std::move(fedlecc);
+    } else {
+      select::HicsConfig cfg;
+      cfg.initial_loss = engine_config.initial_loss;
+      selector = std::make_unique<select::HicsSelector>(std::move(label_counts),
+                                                        cfg);
+    }
   } else {
-    std::fprintf(stderr, "unknown strategy '%s' (random|haccs-py)\n",
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (random|haccs-py|dpp|fedlecc|hics)\n",
                  strategy.c_str());
     return 1;
   }

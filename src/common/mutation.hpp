@@ -21,6 +21,15 @@ enum class Kind {
   /// instead of the ACL_i / ΣACL_j normalized term in Eq. 7 — the selection
   /// distribution silently skews toward lossy clusters without crashing.
   DropEq7Normalization,
+  /// haccs_selector.cpp report_failure: skip the multiplicative penalty on
+  /// a failed client — the selector keeps re-dispatching crashing devices at
+  /// full priority. Detected by the failure_penalty oracle.
+  DropFailurePenalty,
+  /// distance.cpp distribution_distance: silently answer L2 between the
+  /// normalized distributions when Hellinger is requested — cluster
+  /// structure degrades without crashing. Detected by the distance_recompute
+  /// oracle.
+  ClusterDistanceL2,
 };
 
 inline std::atomic<Kind>& active_mutation() {
@@ -40,6 +49,8 @@ inline std::string to_string(Kind kind) {
   switch (kind) {
     case Kind::None: return "none";
     case Kind::DropEq7Normalization: return "drop-eq7-normalization";
+    case Kind::DropFailurePenalty: return "drop-failure-penalty";
+    case Kind::ClusterDistanceL2: return "cluster-distance-l2";
   }
   throw std::invalid_argument("bad mutation Kind");
 }
@@ -47,6 +58,8 @@ inline std::string to_string(Kind kind) {
 inline Kind parse(const std::string& name) {
   if (name == "none") return Kind::None;
   if (name == "drop-eq7-normalization") return Kind::DropEq7Normalization;
+  if (name == "drop-failure-penalty") return Kind::DropFailurePenalty;
+  if (name == "cluster-distance-l2") return Kind::ClusterDistanceL2;
   throw std::invalid_argument("unknown mutation: " + name);
 }
 

@@ -155,8 +155,11 @@ void HaccsSelector::report_failure(std::size_t client_id, std::size_t /*epoch*/,
   // Decay the failed device's intra-cluster priority: its effective latency
   // is inflated by the penalty, so the next-fastest same-distribution device
   // stands in — the paper's robustness story applied to mid-round faults.
-  penalty_[client_id] =
-      std::min(penalty_[client_id] * config_.failure_penalty, 1.0e6);
+  double factor = config_.failure_penalty;
+#if HACCS_MUTATIONS
+  if (mutation::enabled(mutation::Kind::DropFailurePenalty)) factor = 1.0;
+#endif
+  penalty_[client_id] = std::min(penalty_[client_id] * factor, 1.0e6);
   // Owe the cluster a replacement: the distribution keeps its seat.
   if (config_.failure_replacement) {
     replacement_queue_.push_back(

@@ -508,20 +508,17 @@ void MidTierAggregator::fold_update(std::size_t index,
   stat.final_loss = msg.final_loss;
   stat.batches = msg.batches;
   stat.sample_count = msg.sample_count;
-  bool ok = round_.have_global && msg.update.size == round_.global.size();
+  // The mid tier folds Dense only (ROADMAP "non-Dense partial folds"): the
+  // upstream bit-identity proof is Dense-scoped, so a TopK/Int8 update is
+  // rejected per-client — counted in waste accounting — rather than folded
+  // through an unproven reconstruction.
+  bool ok = round_.have_global &&
+            msg.update.kind == net::UpdateKind::Dense &&
+            msg.update.size == round_.global.size();
   if (ok) {
     // Reconstruction identical to the flat dispatcher's handle_frame: Dense
-    // carries the updated parameters; compressed kinds carry the delta.
-    std::vector<float> updated;
-    if (msg.update.kind == net::UpdateKind::Dense) {
-      updated = std::move(msg.update.dense);
-    } else {
-      const auto dense = msg.update.to_dense();
-      updated.resize(dense.size());
-      for (std::size_t p = 0; p < dense.size(); ++p) {
-        updated[p] = round_.global[p] + dense[p];
-      }
-    }
+    // carries the updated parameters directly.
+    std::vector<float> updated = std::move(msg.update.dense);
     ok = fl::fold_into_partial(round_.partial, updated, round_.global,
                                static_cast<double>(msg.sample_count),
                                config_.max_update_norm);

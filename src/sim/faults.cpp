@@ -66,6 +66,12 @@ FaultModel::FaultModel(FaultModelConfig config) : config_(config) {
   if (config_.flaky_crash_boost < 1.0) {
     throw std::invalid_argument("FaultModel: flaky_crash_boost must be >= 1");
   }
+  check_rate(config_.targeted_fraction, "targeted_fraction");
+  if (config_.targeted_multiplier < 1.0 ||
+      config_.targeted_multiplier > config_.straggler_cap) {
+    throw std::invalid_argument(
+        "FaultModel: targeted_multiplier must be in [1, straggler_cap]");
+  }
 }
 
 bool FaultModel::flaky(std::size_t client) const {
@@ -74,6 +80,15 @@ bool FaultModel::flaky(std::size_t client) const {
   // epochs and identical for every strategy.
   Rng rng(config_.seed ^ (0xd1b54a32d192ed03ULL * (client + 1)));
   return rng.uniform() < config_.flaky_fraction;
+}
+
+bool FaultModel::targeted(std::size_t client) const {
+  if (config_.targeted_fraction <= 0.0) return false;
+  // Same (seed, client) purity as flaky(), on an independent stream: the
+  // adversarial cohort is fixed for the whole run and identical under every
+  // selection strategy.
+  Rng rng(config_.seed ^ (0xeb44accab455d165ULL * (client + 1)));
+  return rng.uniform() < config_.targeted_fraction;
 }
 
 FaultEvent FaultModel::at(std::size_t client, std::size_t epoch) const {
@@ -109,6 +124,20 @@ FaultEvent FaultModel::at(std::size_t client, std::size_t epoch) const {
         std::pow(1.0 - rng.uniform(), -1.0 / config_.straggler_alpha);
     event.latency_multiplier = std::min(tail, config_.straggler_cap);
     FaultMetrics::get().straggler.inc();
+  }
+  // Adversarial straggling stacks on top of the random draw: a targeted
+  // client is slowed on every dispatch once the adversary activates, unless
+  // it crashed/corrupted anyway (a dead client cannot be slow). The random
+  // stream above is consumed identically either way, so enabling targeting
+  // never perturbs the non-targeted clients' fault trace.
+  if (event.kind != FaultKind::Crash && event.kind != FaultKind::Corruption &&
+      epoch >= config_.targeted_from && targeted(client)) {
+    if (event.kind != FaultKind::Straggler) {
+      event.kind = FaultKind::Straggler;
+      FaultMetrics::get().straggler.inc();
+    }
+    event.latency_multiplier =
+        std::max(event.latency_multiplier, config_.targeted_multiplier);
   }
   return event;
 }

@@ -64,10 +64,21 @@ struct FaultModelConfig {
   /// Hard cap on the multiplier (keeps simulated clocks finite).
   double straggler_cap = 64.0;
 
+  /// Adversarial (targeted) stragglers: a fixed, seeded cohort of
+  /// `targeted_fraction * n` clients is slowed by `targeted_multiplier` on
+  /// EVERY dispatch from epoch `targeted_from` onward — not the Pareto
+  /// random excursion above but a persistent adversary (e.g. colluding
+  /// devices throttling uploads). Which clients are targeted is a pure
+  /// function of (seed, client), so every strategy faces the same cohort.
+  double targeted_fraction = 0.0;
+  double targeted_multiplier = 8.0;
+  std::size_t targeted_from = 0;
+
   std::uint64_t seed = 1;
 
   bool enabled() const {
-    return crash_rate > 0.0 || corruption_rate > 0.0 || straggler_rate > 0.0;
+    return crash_rate > 0.0 || corruption_rate > 0.0 || straggler_rate > 0.0 ||
+           targeted_fraction > 0.0;
   }
 };
 
@@ -94,6 +105,10 @@ class FaultModel {
   /// Whether this client is persistently flaky (boosted crash rate). Pure in
   /// (config.seed, client); always false when flaky_fraction == 0.
   bool flaky(std::size_t client) const;
+
+  /// Whether this client belongs to the adversarial straggler cohort. Pure
+  /// in (config.seed, client); always false when targeted_fraction == 0.
+  bool targeted(std::size_t client) const;
 
   /// Applies `event`'s corruption mode to a delta in place (no-op unless
   /// kind == Corruption). Deterministic — no RNG involved.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/common/mutation.hpp"
 #include "src/stats/histogram.hpp"
 
 namespace haccs::stats {
@@ -98,7 +99,23 @@ double distribution_distance(std::span<const double> p,
   if (p.size() != q.size()) {
     throw std::invalid_argument("distribution_distance: arity mismatch");
   }
-  if (kind == DistanceKind::Hellinger) return hellinger_distance(p, q);
+  if (kind == DistanceKind::Hellinger) {
+#if HACCS_MUTATIONS
+    // Deliberate bug for the fuzzer's mutation-smoke check (TESTING.md):
+    // answer L2 between the normalized distributions instead of Hellinger —
+    // cluster structure quietly degrades with no crash to catch.
+    if (mutation::enabled(mutation::Kind::ClusterDistanceL2)) {
+      const auto pn = normalized(p);
+      const auto qn = normalized(q);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < pn.size(); ++i) {
+        acc += (pn[i] - qn[i]) * (pn[i] - qn[i]);
+      }
+      return std::sqrt(acc);
+    }
+#endif
+    return hellinger_distance(p, q);
+  }
   if (kind == DistanceKind::Cosine) return cosine_distance(p, q);
 
   const auto pn = normalized(p);

@@ -10,6 +10,7 @@
 #include "src/fl/history.hpp"
 #include "src/fl/net_driver.hpp"
 #include "src/fl/protocol.hpp"
+#include "src/net/wire.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/dropout.hpp"
@@ -141,6 +142,45 @@ void check_distance_invariants(
         out.fail("distance_symmetry",
                  "distance(a,b) != distance(b,a): " + fmt(d) + " vs " +
                      fmt(swapped));
+      }
+    }
+  }
+}
+
+/// Independent Hellinger recomputation against the production distance path
+/// (which routes through stats::distribution_distance — the site of the
+/// cluster-distance-l2 mutation). Deliberately naive: clamp, normalize,
+/// paired square-root differences.
+void check_distance_recompute(const std::vector<core::ClientSummary>& summaries,
+                              const ScenarioSpec& spec, Reporter& out) {
+  if (spec.distance != stats::DistanceKind::Hellinger) return;
+  auto naive = [](std::span<const double> p, std::span<const double> q) {
+    double pt = 0.0, qt = 0.0;
+    for (double v : p) pt += std::max(v, 0.0);
+    for (double v : q) qt += std::max(v, 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double pi = pt > 0.0 ? std::max(p[i], 0.0) / pt : 0.0;
+      const double qi = qt > 0.0 ? std::max(q[i], 0.0) / qt : 0.0;
+      const double d = std::sqrt(pi) - std::sqrt(qi);
+      acc += d * d;
+    }
+    return std::sqrt(acc / 2.0);
+  };
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    if (summaries[i].kind != stats::SummaryKind::Response) return;
+    for (std::size_t j = i + 1; j < summaries.size(); ++j) {
+      const double expected =
+          naive(summaries[i].response.label_counts.counts(),
+                summaries[j].response.label_counts.counts());
+      const double got = core::ClientSummary::distance(
+          summaries[i], summaries[j], spec.distance);
+      if (!close(got, expected, 1e-9)) {
+        out.fail("distance_recompute",
+                 "d(" + std::to_string(i) + "," + std::to_string(j) + ") = " +
+                     fmt(got) + " but independent Hellinger recomputation "
+                     "gives " + fmt(expected));
+        return;
       }
     }
   }
@@ -442,6 +482,201 @@ void check_selection_contract(const ScenarioSpec& spec,
   }
 }
 
+/// Validates one selection against a view: distinct, in-range, available,
+/// and exactly min(k, #available). Every selector in the zoo fills to the
+/// availability bound, so a short selection means probability mass leaked.
+bool selection_fills(const std::vector<std::size_t>& picked, std::size_t k,
+                     const std::vector<fl::ClientRuntimeInfo>& view,
+                     const std::string& where, Reporter& out) {
+  std::size_t avail = 0;
+  for (const auto& c : view) avail += c.available ? 1 : 0;
+  const std::size_t expected = std::min(k, avail);
+  if (picked.size() != expected) {
+    out.fail("selection_mass",
+             where + ": selector returned " + std::to_string(picked.size()) +
+                 " clients but min(k, available) = " +
+                 std::to_string(expected));
+    return false;
+  }
+  std::vector<std::size_t> sorted(picked);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    out.fail("selection_mass", where + ": duplicate client ids");
+    return false;
+  }
+  for (std::size_t id : picked) {
+    if (id >= view.size()) {
+      out.fail("selection_mass",
+               where + ": out-of-range id " + std::to_string(id));
+      return false;
+    }
+    if (!view[id].available) {
+      out.fail("selection_mass",
+               where + ": selected unavailable client " + std::to_string(id));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Selector-generic: across repeated draws — full availability and seeded
+/// partial-availability masks — every selection must carry exactly
+/// min(k, #available) distinct, in-range, available clients.
+void check_selection_mass(const ScenarioSpec& spec,
+                          const data::FederatedDataset& fed,
+                          const std::vector<fl::ClientRuntimeInfo>& view,
+                          Reporter& out) {
+  auto selector = build_selector(spec, fed);
+  selector->initialize(view);
+  Rng rng(spec.seed ^ 0x5e1ec7103a55ULL);
+  for (std::size_t t = 0; t < 40; ++t) {
+    const auto picked =
+        selector->select(spec.per_round, view, t % spec.rounds, rng);
+    if (!selection_fills(picked, spec.per_round, view,
+                         "full view, draw " + std::to_string(t), out)) {
+      return;
+    }
+  }
+  // Partial availability: each client up with probability 0.6 (at least one
+  // forced up so the expected fill is never vacuously zero).
+  Rng mask_rng(spec.seed ^ 0xab1e5ULL);
+  for (std::size_t t = 0; t < 10; ++t) {
+    auto masked = view;
+    std::size_t avail = 0;
+    for (auto& c : masked) {
+      c.available = mask_rng.bernoulli(0.6);
+      avail += c.available ? 1 : 0;
+    }
+    if (avail == 0) masked[t % masked.size()].available = true;
+    const auto picked =
+        selector->select(spec.per_round, masked, t % spec.rounds, rng);
+    if (!selection_fills(picked, spec.per_round, masked,
+                         "partial mask " + std::to_string(t), out)) {
+      return;
+    }
+  }
+}
+
+/// Selector-generic: after a client escalates to Crash and drops out of the
+/// availability mask (as a tripped circuit breaker would make it), no
+/// selector may keep dispatching to it — and the survivors must still fill
+/// the round.
+void check_dead_client(const ScenarioSpec& spec,
+                       const data::FederatedDataset& fed,
+                       const std::vector<fl::ClientRuntimeInfo>& view,
+                       Reporter& out) {
+  if (view.size() < 2) return;
+  auto selector = build_selector(spec, fed);
+  selector->initialize(view);
+  const std::size_t victim = spec.seed % view.size();
+  for (std::size_t r = 0; r < 3; ++r) {
+    selector->report_failure(victim, r, fl::FailureKind::Crash);
+  }
+  auto masked = view;
+  masked[victim].available = false;
+  Rng rng(spec.seed ^ 0xdeadc11e47ULL);
+  const std::size_t expected = std::min(spec.per_round, view.size() - 1);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto picked =
+        selector->select(spec.per_round, masked, t % spec.rounds, rng);
+    for (std::size_t id : picked) {
+      if (id == victim) {
+        out.fail("dead_client",
+                 "selector dispatched to crashed, unavailable client " +
+                     std::to_string(victim));
+        return;
+      }
+    }
+    if (picked.size() != expected) {
+      out.fail("dead_client",
+               "with one dead client the selector returned " +
+                   std::to_string(picked.size()) + " but min(k, n-1) = " +
+                   std::to_string(expected));
+      return;
+    }
+  }
+}
+
+/// Selector-generic crash-resume contract: save_state() after some traffic,
+/// load into a fresh selector, and (for stateful selectors) demand
+/// byte-identical re-serialization plus identical subsequent selections
+/// under identically seeded RNGs. Foreign blobs must be rejected.
+void check_state_roundtrip(const ScenarioSpec& spec,
+                           const data::FederatedDataset& fed,
+                           const std::vector<fl::ClientRuntimeInfo>& view,
+                           Reporter& out) {
+  auto a = build_selector(spec, fed);
+  a->initialize(view);
+  Rng drive(spec.seed ^ 0x57a7e5a3eULL);
+  for (std::size_t e = 0; e < 3; ++e) {
+    const auto picked = a->select(spec.per_round, view, e, drive);
+    for (std::size_t id : picked) {
+      if (drive.bernoulli(0.2)) {
+        a->report_failure(id, e, fl::FailureKind::Timeout);
+      } else {
+        a->report_result(id, 1.0 + 0.01 * static_cast<double>(id), e);
+      }
+    }
+  }
+  const auto blob = a->save_state();
+  auto b = build_selector(spec, fed);
+  b->initialize(view);
+  // Stateless selectors (empty blob, no-op load) pass trivially; they make
+  // no resume promise beyond "fresh start".
+  if (blob.empty()) return;
+  b->load_state(blob);
+  const auto reblob = b->save_state();
+  if (reblob != blob) {
+    out.fail("state_roundtrip",
+             "save(load(blob)) is not byte-identical to blob (" +
+                 std::to_string(reblob.size()) + " vs " +
+                 std::to_string(blob.size()) + " bytes)");
+    return;
+  }
+  for (std::size_t e = 3; e < 6; ++e) {
+    Rng ra(spec.seed ^ (0xab5e1ULL + e));
+    Rng rb(spec.seed ^ (0xab5e1ULL + e));
+    const auto pa = a->select(spec.per_round, view, e, ra);
+    const auto pb = b->select(spec.per_round, view, e, rb);
+    if (pa != pb) {
+      out.fail("state_roundtrip",
+               "resumed selector diverges from the original at epoch " +
+                   std::to_string(e));
+      return;
+    }
+  }
+  net::WireWriter foreign;
+  foreign.string("NotASelectorState");
+  foreign.u16(1);
+  bool threw = false;
+  try {
+    b->load_state(foreign.take());
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  if (!threw) {
+    out.fail("state_roundtrip", "selector accepted a foreign state blob");
+  }
+}
+
+/// HACCS-specific: report_failure must leave a multiplicative penalty > 1 on
+/// the failed client (the drop-failure-penalty mutation erases it, so the
+/// selector keeps re-dispatching crashing devices at full priority).
+void check_failure_penalty(const ScenarioSpec& spec,
+                           const data::FederatedDataset& fed, Reporter& out) {
+  const auto haccs = build_haccs_config(spec);
+  if (haccs.failure_penalty <= 1.0) return;  // fault-unaware ablation
+  core::HaccsSelector selector(fed, haccs);
+  selector.report_failure(0, 0, fl::FailureKind::Crash);
+  const double penalty = selector.failure_penalty_of(0);
+  if (!(penalty > 1.0)) {
+    out.fail("failure_penalty",
+             "after a Crash report the failure penalty is " + fmt(penalty) +
+                 " (expected > 1: the selector would keep re-dispatching a "
+                 "crashing device at full priority)");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Invariant family: RoundRecord conservation
 
@@ -555,23 +790,43 @@ struct RunArtifacts {
   std::vector<float> final_parameters;
 };
 
+RunArtifacts run_with(const ScenarioSpec& spec,
+                      const data::FederatedDataset& fed,
+                      std::function<void(std::size_t)> on_epoch_begin,
+                      fl::RoundDispatcher* dispatcher) {
+  auto engine = build_engine_config(spec);
+  engine.dispatcher = dispatcher;
+  engine.on_epoch_begin = std::move(on_epoch_begin);
+  fl::FederatedTrainer trainer(fed, build_model_factory(spec, fed), engine);
+  auto selector = build_selector(spec, fed);
+  const auto schedule = build_availability(spec);
+  RunArtifacts artifacts;
+  artifacts.history = trainer.run(*selector, *schedule);
+  artifacts.final_parameters = trainer.final_parameters();
+  return artifacts;
+}
+
+/// Runs directly on `fed`, drifting it in place when the spec says so. The
+/// caller owns the aliasing: anything else reading `fed` during the run (a
+/// loopback worker fleet) sees the drifted data too — which is exactly what
+/// the transported-dispatch differential needs.
+RunArtifacts run_scenario_mut(const ScenarioSpec& spec,
+                              data::FederatedDataset& fed,
+                              fl::RoundDispatcher* dispatcher = nullptr) {
+  return run_with(spec, fed, build_drift_hook(spec, fed), dispatcher);
+}
+
 RunArtifacts run_scenario(const ScenarioSpec& spec,
                           const data::FederatedDataset& fed,
                           fl::RoundDispatcher* dispatcher = nullptr) {
-  auto engine = build_engine_config(spec);
-  engine.dispatcher = dispatcher;
-  fl::FederatedTrainer trainer(fed, build_model_factory(spec, fed), engine);
-  auto selector = build_selector(spec, fed);
-  RunArtifacts artifacts;
-  if (spec.dropout > 0.0) {
-    const auto schedule = sim::make_per_epoch_dropout(
-        fed.num_clients(), spec.dropout, spec.seed + 101);
-    artifacts.history = trainer.run(*selector, *schedule);
-  } else {
-    artifacts.history = trainer.run(*selector);
+  if (spec.hostile == HostileKind::Drift) {
+    // Drift mutates the dataset mid-run; every run gets a FRESH copy of the
+    // pristine dataset so the (seeded, deterministic) drift replays
+    // identically instead of compounding across runs.
+    data::FederatedDataset working = fed;
+    return run_scenario_mut(spec, working, dispatcher);
   }
-  artifacts.final_parameters = trainer.final_parameters();
-  return artifacts;
+  return run_with(spec, fed, {}, dispatcher);
 }
 
 std::string record_json_no_phase(const fl::RoundRecord& record) {
@@ -605,7 +860,12 @@ void check_loopback_differential(const ScenarioSpec& spec,
                                  const data::FederatedDataset& fed,
                                  const RunArtifacts& baseline, Reporter& out) {
   const auto engine = build_engine_config(spec);
-  fl::LoopbackCluster cluster(fed, build_model_factory(spec, fed),
+  // Drift note: workers hold a reference to the dataset they were built on,
+  // so engine and fleet must share ONE working copy — the on_epoch_begin
+  // drift (applied between rounds, while workers idle) then reaches both
+  // sides and the transported run stays bit-identical to the baseline.
+  data::FederatedDataset working = fed;
+  fl::LoopbackCluster cluster(working, build_model_factory(spec, working),
                               spec.workers);
   fl::TransportDispatcherConfig dcfg;
   dcfg.work.local = engine.local;
@@ -614,7 +874,7 @@ void check_loopback_differential(const ScenarioSpec& spec,
   dcfg.work.compression = engine.compression;
   dcfg.recv_timeout_ms = 60000;
   fl::TransportDispatcher dispatcher(cluster.server_transports(), dcfg);
-  const auto transported = run_scenario(spec, fed, &dispatcher);
+  const auto transported = run_scenario_mut(spec, working, &dispatcher);
   compare_histories(baseline.history, transported.history,
                     "diff_loopback_dispatch",
                     "in-process vs loopback-transported run", out);
@@ -633,7 +893,10 @@ void check_chaos_liveness(const ScenarioSpec& spec,
   fl::LoopbackClusterOptions copts;
   copts.chaos = build_chaos_options(spec);
   copts.worker_heartbeat_interval_ms = 25;
-  fl::LoopbackCluster cluster(fed, build_model_factory(spec, fed),
+  // Shared working copy for the same drift-aliasing reason as the loopback
+  // differential (workers reference the dataset they were built on).
+  data::FederatedDataset working = fed;
+  fl::LoopbackCluster cluster(working, build_model_factory(spec, working),
                               spec.workers, copts);
   fl::TransportDispatcherConfig dcfg;
   dcfg.work.local = engine.local;
@@ -645,7 +908,7 @@ void check_chaos_liveness(const ScenarioSpec& spec,
   dcfg.quorum_fraction = 0.5;
   dcfg.quorum_grace_ms = 50;
   fl::TransportDispatcher dispatcher(cluster.server_transports(), dcfg);
-  const auto chaotic = run_scenario(spec, fed, &dispatcher);
+  const auto chaotic = run_scenario_mut(spec, working, &dispatcher);
   if (chaotic.history.records().size() != spec.rounds) {
     out.fail("chaos_liveness",
              "chaotic run committed " +
@@ -778,6 +1041,7 @@ std::vector<Violation> check_scenario(const ScenarioSpec& spec,
     const auto haccs = build_haccs_config(spec);
     const auto summaries = core::compute_summaries(fed, haccs);
     check_distance_invariants(summaries, spec, out);
+    check_distance_recompute(summaries, spec, out);
     check_dp_nonnegative(summaries, out);
     check_cluster_permutation_invariance(summaries, haccs, spec, out);
     check_scale_differential(summaries, haccs, out);
@@ -790,8 +1054,12 @@ std::vector<Violation> check_scenario(const ScenarioSpec& spec,
                                  build_engine_config(spec));
     const auto view = trainer.make_client_view();
     check_selection_contract(spec, fed, view, out);
+    check_selection_mass(spec, fed, view, out);
+    check_dead_client(spec, fed, view, out);
+    check_state_roundtrip(spec, fed, view, out);
     if (is_haccs_selector(spec.selector)) {
       check_eq7_and_srswr(spec, fed, view, options, out);
+      check_failure_penalty(spec, fed, out);
     }
   });
 

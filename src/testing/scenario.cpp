@@ -1,16 +1,22 @@
 #include "src/testing/scenario.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/core/haccs_selector.hpp"
 #include "src/core/haccs_system.hpp"
 #include "src/core/stratified_selector.hpp"
 #include "src/data/synthetic.hpp"
+#include "src/select/dpp.hpp"
+#include "src/select/fedlecc.hpp"
+#include "src/select/hics.hpp"
 #include "src/select/oort.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/select/tifl.hpp"
+#include "src/sim/dropout.hpp"
 
 namespace haccs::testing {
 
@@ -50,8 +56,23 @@ std::string to_string(SelectorKind kind) {
     case SelectorKind::HaccsPxy: return "haccs-pxy";
     case SelectorKind::HaccsQxy: return "haccs-qxy";
     case SelectorKind::Stratified: return "stratified";
+    case SelectorKind::Dpp: return "dpp";
+    case SelectorKind::FedLecc: return "fedlecc";
+    case SelectorKind::Hics: return "hics";
   }
   throw std::invalid_argument("bad SelectorKind");
+}
+
+std::string to_string(HostileKind kind) {
+  switch (kind) {
+    case HostileKind::None: return "none";
+    case HostileKind::FlashCrowd: return "flash-crowd";
+    case HostileKind::Diurnal: return "diurnal";
+    case HostileKind::Outage: return "outage";
+    case HostileKind::Drift: return "drift";
+    case HostileKind::TargetedStragglers: return "targeted-stragglers";
+  }
+  throw std::invalid_argument("bad HostileKind");
 }
 
 PartitionKind parse_partition_kind(const std::string& name) {
@@ -71,7 +92,20 @@ SelectorKind parse_selector_kind(const std::string& name) {
   if (name == "haccs-pxy") return SelectorKind::HaccsPxy;
   if (name == "haccs-qxy") return SelectorKind::HaccsQxy;
   if (name == "stratified") return SelectorKind::Stratified;
+  if (name == "dpp") return SelectorKind::Dpp;
+  if (name == "fedlecc") return SelectorKind::FedLecc;
+  if (name == "hics") return SelectorKind::Hics;
   throw std::invalid_argument("unknown selector kind: " + name);
+}
+
+HostileKind parse_hostile_kind(const std::string& name) {
+  if (name == "none") return HostileKind::None;
+  if (name == "flash-crowd") return HostileKind::FlashCrowd;
+  if (name == "diurnal") return HostileKind::Diurnal;
+  if (name == "outage") return HostileKind::Outage;
+  if (name == "drift") return HostileKind::Drift;
+  if (name == "targeted-stragglers") return HostileKind::TargetedStragglers;
+  throw std::invalid_argument("unknown hostile kind: " + name);
 }
 
 bool is_haccs_selector(SelectorKind kind) {
@@ -133,6 +167,53 @@ stats::NoiseMechanism parse_mechanism(const std::string& name) {
   throw std::invalid_argument("unknown noise mechanism: " + name);
 }
 
+// Every key parse_spec_string understands, for the did-you-mean suggestion.
+const char* const kSpecKeys[] = {
+    "seed", "clients", "per_round", "rounds", "classes", "image",
+    "min_samples", "max_samples", "test_samples", "partition", "klabels",
+    "alpha", "rotation", "selector", "algorithm", "extraction", "distance",
+    "rho", "epsilon", "mechanism", "compression", "topk_fraction", "crash",
+    "corruption", "straggler", "overcommit", "deadline", "max_norm",
+    "dropout", "fedprox", "workers", "chaos_drop", "chaos_dup",
+    "chaos_reorder", "chaos_corrupt", "chaos_truncate", "chaos_disconnect",
+    "hostile", "hostile_frac", "hostile_at", "hostile_span"};
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Plain Levenshtein, one rolling row; key names are short so O(|a||b|) is
+  // nothing.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string unknown_key_message(const std::string& key) {
+  std::string message = "unknown spec key: " + key;
+  std::size_t best = std::string::npos;
+  const char* best_key = nullptr;
+  for (const char* candidate : kSpecKeys) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (d < best) {
+      best = d;
+      best_key = candidate;
+    }
+  }
+  // Only suggest when the typo is plausibly a typo of that key: within 3
+  // edits or so — "chaos_dorp" suggests chaos_drop, "zzz" suggests nothing.
+  if (best_key != nullptr && best <= std::max<std::size_t>(2, key.size() / 3)) {
+    message += " (did you mean '" + std::string(best_key) + "'?)";
+  }
+  return message;
+}
+
 }  // namespace
 
 ScenarioSpec generate_scenario(std::uint64_t seed) {
@@ -160,7 +241,9 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   s.selector = pick(rng, {SelectorKind::Random, SelectorKind::Tifl,
                           SelectorKind::Oort, SelectorKind::HaccsPy,
                           SelectorKind::HaccsPy, SelectorKind::HaccsPxy,
-                          SelectorKind::HaccsQxy, SelectorKind::Stratified});
+                          SelectorKind::HaccsQxy, SelectorKind::Stratified,
+                          SelectorKind::Dpp, SelectorKind::FedLecc,
+                          SelectorKind::Hics});
   s.algorithm = pick(rng, {core::ClusterAlgorithm::Optics,
                            core::ClusterAlgorithm::Dbscan});
   s.extraction = pick(rng, {core::Extraction::Auto, core::Extraction::Auto,
@@ -209,6 +292,18 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
     s.chaos_disconnect = pick(rng, {0.0, 0.0, 0.02});
   }
 
+  // Hostile-world shapes on ~30% of scenarios: one time-structured adversity
+  // per spec (TESTING.md). hostile_at = 1 always lands mid-run (rounds >= 2),
+  // so the selector sees both the benign and hostile regimes in one run.
+  if (rng.bernoulli(0.3)) {
+    s.hostile = pick(rng, {HostileKind::FlashCrowd, HostileKind::Diurnal,
+                           HostileKind::Outage, HostileKind::Drift,
+                           HostileKind::TargetedStragglers});
+    s.hostile_frac = pick(rng, {0.2, 0.3, 0.5});
+    s.hostile_at = 1;
+    s.hostile_span = 1 + rng.uniform_index(3);  // 1..3
+  }
+
   validate_spec(s);
   return s;
 }
@@ -245,6 +340,13 @@ void validate_spec(const ScenarioSpec& s) {
                       s.chaos_corrupt, s.chaos_truncate, s.chaos_disconnect}) {
     if (rate < 0.0 || rate > 1.0) fail("chaos rate outside [0, 1]");
   }
+  if (s.hostile_frac < 0.0 || s.hostile_frac > 1.0) {
+    fail("hostile_frac outside [0, 1]");
+  }
+  if (s.hostile_at > 64) fail("hostile_at out of range");
+  if (s.hostile_span == 0 || s.hostile_span > 64) {
+    fail("hostile_span out of range");
+  }
 }
 
 std::string to_spec_string(const ScenarioSpec& s) {
@@ -279,7 +381,11 @@ std::string to_spec_string(const ScenarioSpec& s) {
      << ",chaos_reorder=" << format_double(s.chaos_reorder)
      << ",chaos_corrupt=" << format_double(s.chaos_corrupt)
      << ",chaos_truncate=" << format_double(s.chaos_truncate)
-     << ",chaos_disconnect=" << format_double(s.chaos_disconnect);
+     << ",chaos_disconnect=" << format_double(s.chaos_disconnect)
+     << ",hostile=" << to_string(s.hostile)
+     << ",hostile_frac=" << format_double(s.hostile_frac)
+     << ",hostile_at=" << s.hostile_at
+     << ",hostile_span=" << s.hostile_span;
   return os.str();
 }
 
@@ -336,7 +442,11 @@ ScenarioSpec parse_spec_string(const std::string& text) {
       else if (key == "chaos_corrupt") s.chaos_corrupt = std::stod(value);
       else if (key == "chaos_truncate") s.chaos_truncate = std::stod(value);
       else if (key == "chaos_disconnect") s.chaos_disconnect = std::stod(value);
-      else throw std::invalid_argument("unknown spec key: " + key);
+      else if (key == "hostile") s.hostile = parse_hostile_kind(value);
+      else if (key == "hostile_frac") s.hostile_frac = std::stod(value);
+      else if (key == "hostile_at") s.hostile_at = std::stoul(value);
+      else if (key == "hostile_span") s.hostile_span = std::stoul(value);
+      else throw std::invalid_argument(unknown_key_message(key));
     } catch (const std::invalid_argument&) {
       throw;
     } catch (const std::exception&) {
@@ -400,6 +510,10 @@ fl::EngineConfig build_engine_config(const ScenarioSpec& spec) {
   cfg.faults.corruption_rate = spec.corruption_rate;
   cfg.faults.straggler_rate = spec.straggler_rate;
   cfg.faults.seed = spec.seed + 13;
+  if (spec.hostile == HostileKind::TargetedStragglers) {
+    cfg.faults.targeted_fraction = spec.hostile_frac;
+    cfg.faults.targeted_from = spec.hostile_at;
+  }
   cfg.overcommit = spec.overcommit;
   cfg.deadline_quantile = spec.deadline_quantile;
   cfg.max_update_norm = spec.max_update_norm;
@@ -449,6 +563,15 @@ std::unique_ptr<fl::ClientSelector> build_selector(
       return std::make_unique<core::HaccsSelector>(dataset, haccs);
     case SelectorKind::Stratified:
       return std::make_unique<core::StratifiedSelector>(dataset, haccs);
+    case SelectorKind::Dpp:
+      return std::make_unique<select::DppSelector>(dataset,
+                                                   select::DppConfig{});
+    case SelectorKind::FedLecc:
+      return std::make_unique<select::FedLeccSelector>(dataset,
+                                                       select::FedLeccConfig{});
+    case SelectorKind::Hics:
+      return std::make_unique<select::HicsSelector>(dataset,
+                                                    select::HicsConfig{});
   }
   throw std::invalid_argument("bad SelectorKind");
 }
@@ -468,6 +591,64 @@ net::ChaosOptions build_chaos_options(const ScenarioSpec& spec) {
   chaos.truncate_rate = spec.chaos_truncate;
   chaos.disconnect_rate = spec.chaos_disconnect;
   return chaos;
+}
+
+std::unique_ptr<sim::DropoutSchedule> build_availability(
+    const ScenarioSpec& spec) {
+  // The base per-epoch dropout uses seed + 101 — the derivation run_scenario
+  // has always used, so benign replays stay bit-identical to older builds.
+  std::unique_ptr<sim::DropoutSchedule> schedule =
+      spec.dropout > 0.0
+          ? sim::make_per_epoch_dropout(spec.clients, spec.dropout,
+                                        spec.seed + 101)
+          : sim::make_always_available(spec.clients);
+  std::unique_ptr<sim::DropoutSchedule> hostile;
+  switch (spec.hostile) {
+    case HostileKind::FlashCrowd:
+      hostile = sim::make_flash_crowd(spec.clients, spec.hostile_frac,
+                                      spec.hostile_at, spec.seed + 211);
+      break;
+    case HostileKind::Diurnal:
+      // Period = span + 1 keeps the trough strictly shorter than the period
+      // for any frac < 1, so the wave never blacks out a whole cycle.
+      hostile = sim::make_diurnal_wave(spec.clients, spec.hostile_frac,
+                                       spec.hostile_span + 1, spec.seed + 211);
+      break;
+    case HostileKind::Outage:
+      hostile = sim::make_regional_outage(spec.clients, /*num_regions=*/4,
+                                          spec.hostile_frac, spec.hostile_at,
+                                          spec.hostile_span, spec.seed + 211);
+      break;
+    case HostileKind::None:
+    case HostileKind::Drift:
+    case HostileKind::TargetedStragglers:
+      break;  // not availability-shaped
+  }
+  if (hostile) {
+    schedule = sim::make_intersection(std::move(schedule), std::move(hostile));
+  }
+  return schedule;
+}
+
+std::function<void(std::size_t)> build_drift_hook(const ScenarioSpec& spec,
+                                                  data::FederatedDataset& fed) {
+  if (spec.hostile != HostileKind::Drift) return {};
+  // Rebuild the generator exactly as build_dataset configured it, so drifted
+  // clients are redrawn from the same class prototypes they came from.
+  data::SyntheticImageConfig cfg =
+      data::SyntheticImageConfig::femnist_like(spec.classes);
+  cfg.height = spec.image;
+  cfg.width = spec.image;
+  cfg.noise_stddev = 0.6;
+  const std::size_t at = spec.hostile_at;
+  const double frac = spec.hostile_frac;
+  const std::uint64_t seed = spec.seed + 307;
+  return [&fed, cfg, at, frac, seed](std::size_t epoch) {
+    if (epoch != at) return;
+    data::SyntheticImageGenerator gen(cfg);
+    Rng rng(seed);
+    data::apply_label_drift(fed, gen, frac, rng);
+  };
 }
 
 }  // namespace haccs::testing

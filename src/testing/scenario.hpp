@@ -30,12 +30,25 @@ namespace haccs::testing {
 
 enum class PartitionKind { Majority, Iid, KLabels, Dirichlet, FeatureSkew };
 enum class SelectorKind { Random, Tifl, Oort, HaccsPy, HaccsPxy, HaccsQxy,
-                          Stratified };
+                          Stratified, Dpp, FedLecc, Hics };
+
+/// Time-structured adversity (ROADMAP "hostile-world scenarios"): one shape
+/// per spec, parameterized by hostile_frac / hostile_at / hostile_span.
+enum class HostileKind {
+  None,
+  FlashCrowd,          ///< frac of clients all join at epoch hostile_at
+  Diurnal,             ///< availability wave, period hostile_span
+  Outage,              ///< correlated regional blackout for hostile_span epochs
+  Drift,               ///< frac of clients' label distributions redrawn
+  TargetedStragglers,  ///< fixed adversarial cohort slowed from hostile_at
+};
 
 std::string to_string(PartitionKind kind);
 std::string to_string(SelectorKind kind);
+std::string to_string(HostileKind kind);
 PartitionKind parse_partition_kind(const std::string& name);
 SelectorKind parse_selector_kind(const std::string& name);
+HostileKind parse_hostile_kind(const std::string& name);
 
 /// True for the selector kinds that run the HACCS clustering pipeline (and
 /// therefore expose cluster_weights / Eq. 7 to the oracles).
@@ -95,6 +108,17 @@ struct ScenarioSpec {
   double chaos_truncate = 0.0;
   double chaos_disconnect = 0.0;
 
+  // Hostile-world shape (HostileKind::None = benign). `hostile_frac` is the
+  // affected fraction (joining cohort / wave trough / dark regions / drifted
+  // clients / adversarial cohort); `hostile_at` the epoch the adversity
+  // starts; `hostile_span` its duration or wave period.
+  HostileKind hostile = HostileKind::None;
+  double hostile_frac = 0.3;
+  std::size_t hostile_at = 1;
+  std::size_t hostile_span = 2;
+
+  bool hostile_enabled() const { return hostile != HostileKind::None; }
+
   bool chaos_enabled() const {
     return chaos_drop > 0.0 || chaos_dup > 0.0 || chaos_reorder > 0.0 ||
            chaos_corrupt > 0.0 || chaos_truncate > 0.0 ||
@@ -129,5 +153,18 @@ std::function<nn::Sequential()> build_model_factory(
 /// Chaos knobs in transport form; seeded from spec.seed so a replayed spec
 /// injects the identical fault script.
 net::ChaosOptions build_chaos_options(const ScenarioSpec& spec);
+/// The availability schedule every run of this scenario shares: the base
+/// per-epoch dropout composed with the availability-shaped hostile kinds
+/// (flash crowd, diurnal wave, regional outage). Never null — benign specs
+/// get an always-available schedule.
+std::unique_ptr<sim::DropoutSchedule> build_availability(
+    const ScenarioSpec& spec);
+/// EngineConfig::on_epoch_begin hook applying mid-training label drift to
+/// `dataset` (in place, seeded by the spec). Empty unless hostile == Drift.
+/// `dataset` must be the pristine build_dataset output and must outlive the
+/// hook; runs that share a dataset object must each use a FRESH copy, since
+/// the drift mutates it.
+std::function<void(std::size_t)> build_drift_hook(const ScenarioSpec& spec,
+                                                  data::FederatedDataset& fed);
 
 }  // namespace haccs::testing

@@ -25,6 +25,16 @@ std::vector<Pass> simplification_passes() {
     return changed;
   });
   add([](ScenarioSpec& s) {
+    // Drop the hostile-world shape entirely, resetting its knobs to the
+    // defaults so the shrunk spec round-trips through the printer cleanly.
+    const bool changed = s.hostile != HostileKind::None;
+    s.hostile = HostileKind::None;
+    s.hostile_frac = 0.3;
+    s.hostile_at = 1;
+    s.hostile_span = 2;
+    return changed;
+  });
+  add([](ScenarioSpec& s) {
     const bool changed = s.crash_rate != 0.0 || s.corruption_rate != 0.0 ||
                          s.straggler_rate != 0.0;
     s.crash_rate = s.corruption_rate = s.straggler_rate = 0.0;

@@ -143,6 +143,58 @@ TEST(SlowMutation, DroppedEq7NormalizationIsDetected) {
   }
 }
 
+TEST(SlowMutation, DroppedFailurePenaltyIsDetectedAndShrinks) {
+  const auto spec = mutation_prone_spec();
+  OracleOptions options = fast_options();
+  options.srswr_draws = 0;  // the failure_penalty oracle needs no draws
+  {
+    mutation::ScopedMutation armed(mutation::Kind::DropFailurePenalty);
+    const auto violations = testing::check_scenario(spec, options);
+    EXPECT_TRUE(testing::has_oracle(violations, "failure_penalty"))
+        << "the failure_penalty oracle missed the injected bug";
+
+    const auto result =
+        testing::shrink_scenario(spec, "failure_penalty", options);
+    const auto still = testing::check_scenario(result.spec, options);
+    EXPECT_TRUE(testing::has_oracle(still, "failure_penalty"));
+    EXPECT_GT(result.reproductions, 0u);
+    // The oracle is selector-local, so every workload knob shrinks away.
+    EXPECT_EQ(result.spec.crash_rate, 0.0);
+    EXPECT_EQ(result.spec.dropout, 0.0);
+    EXPECT_EQ(result.spec.compression, fl::CompressionKind::None);
+  }
+  const auto clean = testing::check_scenario(spec, options);
+  for (const auto& v : clean) {
+    ADD_FAILURE() << "disarmed spec not clean: [" << v.oracle << "] "
+                  << v.detail;
+  }
+}
+
+TEST(SlowMutation, ClusterDistanceL2SwapIsDetectedAndShrinks) {
+  const auto spec = mutation_prone_spec();
+  OracleOptions options = fast_options();
+  options.srswr_draws = 0;
+  {
+    mutation::ScopedMutation armed(mutation::Kind::ClusterDistanceL2);
+    const auto violations = testing::check_scenario(spec, options);
+    EXPECT_TRUE(testing::has_oracle(violations, "distance_recompute"))
+        << "the distance_recompute oracle missed the L2-for-Hellinger swap";
+
+    const auto result =
+        testing::shrink_scenario(spec, "distance_recompute", options);
+    const auto still = testing::check_scenario(result.spec, options);
+    EXPECT_TRUE(testing::has_oracle(still, "distance_recompute"));
+    EXPECT_GT(result.reproductions, 0u);
+    EXPECT_EQ(result.spec.crash_rate, 0.0);
+    EXPECT_EQ(result.spec.compression, fl::CompressionKind::None);
+  }
+  const auto clean = testing::check_scenario(spec, options);
+  for (const auto& v : clean) {
+    ADD_FAILURE() << "disarmed spec not clean: [" << v.oracle << "] "
+                  << v.detail;
+  }
+}
+
 TEST(SlowMutation, DetectedMutationShrinksToReplayableReproducer) {
   mutation::ScopedMutation armed(mutation::Kind::DropEq7Normalization);
   const auto spec = mutation_prone_spec();

@@ -492,6 +492,56 @@ TEST(HierTree, ThreeTierRunBitIdenticalToGroupedFlat) {
             0);
 }
 
+// Guard-rail for ROADMAP's "non-Dense partial folds" item: the mid tier
+// folds Dense only, so a TopK/Int8 client update reaching it must come back
+// as a clean per-client rejection — counted in the round's waste accounting
+// — never a silent mis-fold into the subtree partial.
+TEST(HierTree, MidTierRejectsNonDenseUpdates) {
+  const auto fed = make_fed();
+  const auto factory = core::default_model_factory(fed, 99);
+  for (const auto kind :
+       {fl::CompressionKind::TopK, fl::CompressionKind::Int8}) {
+    fl::EngineConfig engine = make_engine(2);
+    engine.compression.kind = kind;
+
+    TreeHarness harness(fed, factory, /*num_aggs=*/2, /*num_workers=*/4,
+                        engine);
+    harness.drain_handshakes(fed.clients.size());
+
+    hier::TreeDispatcherConfig config;
+    config.work.local = engine.local;
+    config.work.compression = engine.compression;
+    config.num_workers = 4;
+    config.recv_timeout_ms = 120000;
+    config.max_update_norm = engine.max_update_norm;
+    hier::TreeDispatcher dispatcher(harness.root_transports(), config);
+    engine.dispatcher = &dispatcher;
+
+    fl::FederatedTrainer trainer(fed, factory, engine);
+    select::RandomSelector selector;
+    const auto history = trainer.run(selector);
+    harness.shutdown_and_join();
+
+    ASSERT_FALSE(history.records().empty());
+    for (const auto& record : history.records()) {
+      EXPECT_GT(record.dispatched, 0u);
+      EXPECT_TRUE(record.selected.empty())
+          << "a non-Dense update was folded (kind "
+          << static_cast<int>(kind) << ", epoch " << record.epoch << ")";
+      EXPECT_EQ(record.rejected.size(), record.dispatched);
+      EXPECT_EQ(record.wasted(), record.dispatched);
+    }
+    // Nothing ever folded, so the global model must still be bit-identical
+    // to its initialization.
+    const auto initial = factory().get_parameters();
+    const auto& final_params = trainer.final_parameters();
+    ASSERT_EQ(final_params.size(), initial.size());
+    EXPECT_EQ(std::memcmp(final_params.data(), initial.data(),
+                          initial.size() * sizeof(float)),
+              0);
+  }
+}
+
 /// Emulates one mid-tier aggregator for a single round: receives the
 /// SelectNotice + TrainJobs, then settles with one chunk + trailer where
 /// every client "trained" to params + 1.

@@ -57,6 +57,8 @@ def main():
     parser.add_argument("--filter", default="src/",
                         help="source path prefix (relative to --source-root)")
     parser.add_argument("--gcov", default="gcov")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        help="exit 1 if total line coverage %% is below this")
     args = parser.parse_args()
 
     source_root = os.path.realpath(args.source_root)
@@ -99,6 +101,10 @@ def main():
     print("-" * (width + 22))
     print(f"{'TOTAL':<{width}}  {total_covered:5d}/{total_lines:<5d}  "
           f"{pct:6.1f}%")
+    if args.fail_under is not None and pct < args.fail_under:
+        print(f"FAIL: {pct:.1f}% < --fail-under {args.fail_under:.1f}%",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -8,6 +8,7 @@
 //   haccs_fuzz --seeds 500 --time-budget 60
 //   haccs_fuzz --replay "seed=41,selector=haccs-py,..."
 //   haccs_fuzz --mutate drop-eq7-normalization --seeds 0..20 --expect-violation
+//   haccs_fuzz --seeds 0..999 --reproducers shrunk.tsv   # nightly artifact
 //
 // Exit status: 0 = clean sweep, 1 = violations found (inverted under
 // --expect-violation, which is how CI proves the oracles still have teeth),
@@ -15,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -62,9 +64,11 @@ void print_violations(const ScenarioSpec& spec,
 }
 
 /// Runs oracles on one spec; on failure, shrinks and prints the replay line.
-/// Returns the number of violations.
+/// With `reproducers` set, each shrunk reproducer is also appended there
+/// (one "oracle<TAB>spec" line per failure) so CI can upload the file as an
+/// artifact. Returns the number of violations.
 std::size_t run_one(const ScenarioSpec& spec, const OracleOptions& options,
-                    bool shrink) {
+                    bool shrink, const std::string& reproducers) {
   const auto violations = haccs::testing::check_scenario(spec, options);
   if (violations.empty()) return 0;
   print_violations(spec, violations);
@@ -78,6 +82,15 @@ std::size_t run_one(const ScenarioSpec& spec, const OracleOptions& options,
   }
   std::cout << "  reproduce: " << haccs::testing::replay_command(minimal)
             << "\n";
+  if (!reproducers.empty()) {
+    std::ofstream out(reproducers, std::ios::app);
+    if (!out) {
+      throw std::runtime_error("cannot open --reproducers file: " +
+                               reproducers);
+    }
+    out << violations.front().oracle << "\t"
+        << haccs::testing::to_spec_string(minimal) << "\n";
+  }
   return violations.size();
 }
 
@@ -94,6 +107,7 @@ int main(int argc, char** argv) {
     const bool expect_violation = flags.get_bool("expect-violation", false);
     const bool shrink = flags.get_bool("shrink", true);
     const bool list_only = flags.get_bool("list", false);
+    const std::string reproducers = flags.get_string("reproducers", "");
     OracleOptions options;
     options.differential = flags.get_bool("differential", true);
     options.srswr_draws = static_cast<std::size_t>(
@@ -107,7 +121,7 @@ int main(int argc, char** argv) {
 
     if (!replay.empty()) {
       const auto spec = haccs::testing::parse_spec_string(replay);
-      total_violations = run_one(spec, options, shrink);
+      total_violations = run_one(spec, options, shrink, reproducers);
       scenarios_run = 1;
     } else {
       const auto range = parse_seeds(seeds_text);
@@ -127,7 +141,7 @@ int main(int argc, char** argv) {
           std::cout << haccs::testing::to_spec_string(spec) << "\n";
           continue;
         }
-        total_violations += run_one(spec, options, shrink);
+        total_violations += run_one(spec, options, shrink, reproducers);
         ++scenarios_run;
         if (seed == range.last) break;  // avoid overflow on seed+1
       }

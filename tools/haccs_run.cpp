@@ -11,8 +11,10 @@
 //             --save-model=/tmp/model.bin --csv=/tmp/run
 //
 // Strategies: random | tifl | oort | haccs-py | haccs-pxy | gradient |
-//             stratified
+//             stratified | dpp | fedlecc | hics
 // Partitions: majority | iid | klabels | feature-skew | dirichlet | groups
+// Hostile-world shapes (--hostile): flash-crowd | diurnal | outage | drift |
+//             targeted-stragglers
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +28,9 @@
 #include "src/core/gradient_selector.hpp"
 #include "src/core/stratified_selector.hpp"
 #include "src/nn/serialize.hpp"
+#include "src/select/dpp.hpp"
+#include "src/select/fedlecc.hpp"
+#include "src/select/hics.hpp"
 #include "src/select/oort.hpp"
 #include "src/select/random_selector.hpp"
 #include "src/select/tifl.hpp"
@@ -36,7 +41,7 @@ void print_usage() {
   std::puts(
       "haccs_run — federated training experiment driver\n"
       "  --strategy=S    random|tifl|oort|haccs-py|haccs-pxy|haccs-qxy|"
-      "gradient|stratified (default haccs-py)\n"
+      "gradient|stratified|dpp|fedlecc|hics (default haccs-py)\n"
       "  --partition=P   majority|iid|klabels|feature-skew|dirichlet|groups "
       "(default majority)\n"
       "  --dataset=D     mnist|femnist|cifar (default femnist)\n"
@@ -48,6 +53,11 @@ void print_usage() {
       "  --epsilon=E     DP budget for summaries (default: no noise)\n"
       "  --dropout=F     per-epoch unavailable fraction (default 0)\n"
       "  --recluster=N   re-cluster every N epochs (default 0 = static)\n"
+      "hostile-world shapes (TESTING.md):\n"
+      "  --hostile=K     flash-crowd|diurnal|outage|drift|targeted-stragglers\n"
+      "  --hostile-frac=F  affected fraction of clients/regions (default 0.3)\n"
+      "  --hostile-at=N    epoch the shape arms at (default 1)\n"
+      "  --hostile-span=N  duration / period knob (default 2)\n"
       "scaling (DESIGN.md §5h):\n"
       "  --scale         route clustering through the sketch/shard pipeline\n"
       "  --scale-shard=N          max clients per clustering shard (default 1024)\n"
@@ -104,6 +114,12 @@ int main(int argc, char** argv) {
   const double epsilon = flags.get_double("epsilon", 0.0);
   const std::string mechanism = flags.get_string("mechanism", "laplace");
   const double dropout_fraction = flags.get_double("dropout", 0.0);
+  const std::string hostile = flags.get_string("hostile", "");
+  const double hostile_frac = flags.get_double("hostile-frac", 0.3);
+  const auto hostile_at =
+      static_cast<std::size_t>(flags.get_int("hostile-at", 1));
+  const auto hostile_span =
+      static_cast<std::size_t>(flags.get_int("hostile-span", 2));
   const auto recluster =
       static_cast<std::size_t>(flags.get_int("recluster", 0));
   const bool scale_enabled = flags.get_bool("scale", false);
@@ -149,6 +165,20 @@ int main(int argc, char** argv) {
   if (fedprox) {
     engine_config.algorithm = fl::LocalAlgorithm::FedProx;
     engine_config.fedprox_mu = mu;
+  }
+  if (hostile == "targeted-stragglers") {
+    engine_config.faults.targeted_fraction = hostile_frac;
+    engine_config.faults.targeted_from = hostile_at;
+  } else if (hostile == "drift") {
+    // Mid-training label-distribution drift: redraw a fraction of every
+    // client's training labels at the trigger epoch. The trainer holds a
+    // reference to `fed`, so the in-place mutation is what it trains on.
+    engine_config.on_epoch_begin = [&fed, &gen, hostile_frac, hostile_at,
+                                    seed = exp.seed + 307](std::size_t epoch) {
+      if (epoch != hostile_at) return;
+      Rng drift_rng(seed);
+      data::apply_label_drift(fed, gen, hostile_frac, drift_rng);
+    };
   }
   fl::FederatedTrainer trainer(fed, core::default_model_factory(fed, 99),
                                engine_config);
@@ -200,6 +230,18 @@ int main(int argc, char** argv) {
     selector = std::make_unique<core::GradientClusterSelector>(cfg);
   } else if (strategy == "stratified") {
     selector = std::make_unique<core::StratifiedSelector>(fed, haccs);
+  } else if (strategy == "dpp") {
+    select::DppConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::DppSelector>(fed, cfg);
+  } else if (strategy == "fedlecc") {
+    select::FedLeccConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::FedLeccSelector>(fed, cfg);
+  } else if (strategy == "hics") {
+    select::HicsConfig cfg;
+    cfg.initial_loss = engine_config.initial_loss;
+    selector = std::make_unique<select::HicsSelector>(fed, cfg);
   } else {
     std::fprintf(stderr, "unknown strategy '%s' (--help for options)\n",
                  strategy.c_str());
@@ -211,10 +253,34 @@ int main(int argc, char** argv) {
                selector->name().c_str(), bench::to_string(exp.dataset).c_str(),
                partition.c_str(), fed.num_clients(),
                engine_config.clients_per_round, engine_config.rounds);
-  fl::TrainingHistory history;
+  std::unique_ptr<sim::DropoutSchedule> schedule;
   if (dropout_fraction > 0.0) {
-    const auto schedule = sim::make_per_epoch_dropout(
-        fed.num_clients(), dropout_fraction, exp.seed + 101);
+    schedule = sim::make_per_epoch_dropout(fed.num_clients(), dropout_fraction,
+                                           exp.seed + 101);
+  }
+  std::unique_ptr<sim::DropoutSchedule> shape;
+  if (hostile == "flash-crowd") {
+    shape = sim::make_flash_crowd(fed.num_clients(), hostile_frac, hostile_at,
+                                  exp.seed + 211);
+  } else if (hostile == "diurnal") {
+    shape = sim::make_diurnal_wave(fed.num_clients(), hostile_frac,
+                                   hostile_span + 1, exp.seed + 211);
+  } else if (hostile == "outage") {
+    shape = sim::make_regional_outage(fed.num_clients(), 4, hostile_frac,
+                                      hostile_at, hostile_span, exp.seed + 211);
+  } else if (!hostile.empty() && hostile != "none" && hostile != "drift" &&
+             hostile != "targeted-stragglers") {
+    std::fprintf(stderr, "unknown hostile shape '%s' (--help for options)\n",
+                 hostile.c_str());
+    return 1;
+  }
+  if (shape) {
+    schedule = schedule ? sim::make_intersection(std::move(schedule),
+                                                 std::move(shape))
+                        : std::move(shape);
+  }
+  fl::TrainingHistory history;
+  if (schedule) {
     history = trainer.run(*selector, *schedule);
   } else {
     history = trainer.run(*selector);
